@@ -1,0 +1,89 @@
+// Figure 7: 50th/90th percentile write latencies for BFT, HFT and Spider
+// with clients in Virginia/Oregon/Ireland/Tokyo and different leader
+// locations.
+//
+// Expected shape (paper): BFT and HFT latencies depend strongly on the
+// leader (site) location; Spider is uniformly low for Virginia clients and
+// bounded by one WAN round trip for remote clients, regardless of which
+// availability zone hosts the agreement leader.
+#include "baselines/bft_system.hpp"
+#include "baselines/hft_system.hpp"
+#include "harness.hpp"
+#include "spider/system.hpp"
+
+namespace spider::bench {
+namespace {
+
+const std::vector<Region> kClientRegions = {Region::Virginia, Region::Oregon, Region::Ireland,
+                                            Region::Tokyo};
+constexpr int kClientsPerRegion = 6;
+constexpr Duration kInterval = 500 * kMillisecond;
+constexpr Time kWarmup = 5 * kSecond;
+constexpr Time kEnd = 35 * kSecond;
+
+template <typename MakeClient>
+std::map<Region, LatencyStats> run_write_load(World& world, MakeClient make_client) {
+  Fleet fleet(world, kWarmup, kEnd);
+  for (Region r : kClientRegions) {
+    for (int i = 0; i < kClientsPerRegion; ++i) {
+      fleet.add_client(make_client(Site{r, static_cast<std::uint8_t>(i % 3)}), r, OpType::Write);
+    }
+  }
+  fleet.start(kInterval);
+  world.run_until(kEnd + 2 * kSecond);
+  return std::move(fleet.stats);
+}
+
+void bench_bft() {
+  const std::vector<Region> order = {Region::Virginia, Region::Oregon, Region::Ireland,
+                                     Region::Tokyo};
+  for (std::size_t leader = 0; leader < order.size(); ++leader) {
+    World world(100 + leader);
+    std::vector<Site> sites;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      sites.push_back(Site{order[(leader + i) % order.size()], 0});
+    }
+    BftSystem sys(world, BftConfig{sites});
+    auto stats = run_write_load(world, [&](Site s) { return sys.make_client(s); });
+    print_region_row("BFT leader=" + std::string(region_code(order[leader])), stats);
+  }
+}
+
+void bench_hft() {
+  for (std::uint32_t leader = 0; leader < 4; ++leader) {
+    World world(200 + leader);
+    HftConfig cfg;
+    cfg.leader_site = leader;
+    HftSystem sys(world, cfg);
+    auto stats = run_write_load(world, [&](Site s) { return sys.make_client(s); });
+    print_region_row("HFT leader-site=" + std::string(region_code(cfg.site_regions[leader])),
+                     stats);
+  }
+}
+
+void bench_spider() {
+  for (std::uint32_t rot : {0u, 1u, 3u, 5u}) {  // leader in V-1, V-2, V-4, V-6
+    World world(300 + rot);
+    SpiderTopology topo;
+    topo.agreement_az_rotation = rot;
+    SpiderSystem sys(world, topo);
+    auto stats = run_write_load(world, [&](Site s) { return sys.make_client(s); });
+    print_region_row("SPIDER leader=V-" + std::to_string(rot + 1), stats);
+  }
+}
+
+}  // namespace
+}  // namespace spider::bench
+
+int main() {
+  std::printf("=== Figure 7: write latency percentiles by client region ===\n");
+  std::printf("(200-byte writes; %d clients/region; measure window %.0f s)\n\n",
+              spider::bench::kClientsPerRegion,
+              spider::to_sec(spider::bench::kEnd - spider::bench::kWarmup));
+  spider::bench::bench_bft();
+  std::printf("\n");
+  spider::bench::bench_hft();
+  std::printf("\n");
+  spider::bench::bench_spider();
+  return 0;
+}

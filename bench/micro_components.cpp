@@ -1,0 +1,92 @@
+// google-benchmark microbenchmarks for non-crypto hot paths: serde, the
+// KV store, the event queue, and whole simulated Spider writes (wall-clock
+// cost of simulating one write end to end).
+#include <benchmark/benchmark.h>
+
+#include "app/kvstore.hpp"
+#include "common/serde.hpp"
+#include "sim/world.hpp"
+#include "spider/system.hpp"
+
+namespace spider {
+namespace {
+
+void BM_SerdeEncode(benchmark::State& state) {
+  Bytes payload(static_cast<std::size_t>(state.range(0)), 0x55);
+  for (auto _ : state) {
+    Writer w;
+    w.u32(7);
+    w.u64(42);
+    w.bytes(payload);
+    benchmark::DoNotOptimize(std::move(w).take());
+  }
+}
+BENCHMARK(BM_SerdeEncode)->Arg(200)->Arg(4096);
+
+void BM_SerdeDecode(benchmark::State& state) {
+  Writer w;
+  w.u32(7);
+  w.u64(42);
+  w.bytes(Bytes(static_cast<std::size_t>(state.range(0)), 0x55));
+  Bytes buf = std::move(w).take();
+  for (auto _ : state) {
+    Reader r(buf);
+    benchmark::DoNotOptimize(r.u32());
+    benchmark::DoNotOptimize(r.u64());
+    benchmark::DoNotOptimize(r.bytes_view());
+  }
+}
+BENCHMARK(BM_SerdeDecode)->Arg(200)->Arg(4096);
+
+void BM_KvStorePut(benchmark::State& state) {
+  KvStore kv;
+  Bytes value(200, 0x42);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv.execute(kv_put("key" + std::to_string(i++ % 1000), value)));
+  }
+}
+BENCHMARK(BM_KvStorePut);
+
+void BM_KvStoreSnapshot(benchmark::State& state) {
+  KvStore kv;
+  for (int i = 0; i < state.range(0); ++i) {
+    kv.execute(kv_put("key" + std::to_string(i), Bytes(100, 1)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv.snapshot());
+  }
+}
+BENCHMARK(BM_KvStoreSnapshot)->Arg(100)->Arg(1000);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_at(i, [] {});
+    }
+    q.run_all();
+  }
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_SimulatedSpiderWrite(benchmark::State& state) {
+  // Wall-clock cost of simulating one complete Spider write (all protocol
+  // messages, crypto cost accounting, KV execution in 4 regions).
+  World world(1);
+  SpiderSystem sys(world, SpiderTopology{});
+  auto client = sys.make_client(Site{Region::Virginia, 0});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    bool done = false;
+    client->write(kv_put("k" + std::to_string(i++ % 64), Bytes(160, 0x42)),
+                  [&](Bytes, Duration) { done = true; });
+    while (!done) world.queue().run_next();
+  }
+}
+BENCHMARK(BM_SimulatedSpiderWrite)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace spider
+
+BENCHMARK_MAIN();

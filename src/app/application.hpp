@@ -1,0 +1,36 @@
+// Deterministic state-machine application interface (paper §A.4.4).
+//
+// Every replication system in this repository (Spider, BFT, BFT-WV, HFT)
+// executes requests against this interface. Implementations must be
+// deterministic: identical op sequences yield identical states and replies.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace spider {
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Executes an operation that may modify state; returns the reply.
+  virtual Bytes execute(BytesView op) = 0;
+
+  /// Executes a read-only operation against current state (weakly
+  /// consistent reads); must not modify state.
+  virtual Bytes execute_readonly(BytesView op) const = 0;
+
+  /// Serializes the full application state.
+  virtual Bytes snapshot() const = 0;
+
+  /// Replaces the state with a previously taken snapshot.
+  virtual void restore(BytesView snapshot) = 0;
+
+  /// Fresh instance of the same application type (for checkpoint transfer
+  /// into empty replicas).
+  virtual std::unique_ptr<Application> clone_empty() const = 0;
+};
+
+}  // namespace spider

@@ -1,0 +1,101 @@
+#include "app/kvstore.hpp"
+
+#include <stdexcept>
+
+#include "common/serde.hpp"
+
+namespace spider {
+
+namespace {
+Bytes encode_op(KvOp op, const std::string& key, BytesView value) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(key);
+  w.bytes(value);
+  return std::move(w).take();
+}
+
+Bytes make_reply(bool ok, BytesView value) {
+  Writer w;
+  w.u8(ok ? 1 : 0);
+  w.bytes(value);
+  return std::move(w).take();
+}
+}  // namespace
+
+Bytes kv_put(const std::string& key, BytesView value) { return encode_op(KvOp::Put, key, value); }
+Bytes kv_get(const std::string& key) { return encode_op(KvOp::Get, key, {}); }
+Bytes kv_del(const std::string& key) { return encode_op(KvOp::Del, key, {}); }
+Bytes kv_size() { return encode_op(KvOp::Size, "", {}); }
+
+KvReply kv_decode_reply(BytesView reply) {
+  Reader r(reply);
+  KvReply out;
+  out.ok = r.u8() == 1;
+  out.value = r.bytes();
+  return out;
+}
+
+Bytes KvStore::apply(BytesView op, bool allow_mutation) {
+  Reader r(op);
+  auto kind = static_cast<KvOp>(r.u8());
+  std::string key = r.str();
+  BytesView value = r.bytes_view();
+
+  switch (kind) {
+    case KvOp::Put: {
+      if (!allow_mutation) return make_reply(false, {});
+      data_[key] = to_bytes(value);
+      return make_reply(true, {});
+    }
+    case KvOp::Get: {
+      auto it = data_.find(key);
+      if (it == data_.end()) return make_reply(false, {});
+      return make_reply(true, it->second);
+    }
+    case KvOp::Del: {
+      if (!allow_mutation) return make_reply(false, {});
+      bool existed = data_.erase(key) > 0;
+      return make_reply(existed, {});
+    }
+    case KvOp::Size: {
+      Writer w;
+      w.u64(data_.size());
+      return make_reply(true, w.data());
+    }
+  }
+  throw SerdeError("unknown KV opcode");
+}
+
+Bytes KvStore::execute(BytesView op) { return apply(op, /*allow_mutation=*/true); }
+
+Bytes KvStore::execute_readonly(BytesView op) const {
+  // const_cast is safe: apply() with allow_mutation=false never writes.
+  return const_cast<KvStore*>(this)->apply(op, /*allow_mutation=*/false);
+}
+
+Bytes KvStore::snapshot() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(data_.size()));
+  for (const auto& [key, value] : data_) {
+    w.str(key);
+    w.bytes(value);
+  }
+  return std::move(w).take();
+}
+
+void KvStore::restore(BytesView snapshot) {
+  Reader r(snapshot);
+  std::map<std::string, Bytes> next;
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    next[key] = r.bytes();
+  }
+  r.expect_done();
+  data_ = std::move(next);
+}
+
+std::unique_ptr<Application> KvStore::clone_empty() const { return std::make_unique<KvStore>(); }
+
+}  // namespace spider

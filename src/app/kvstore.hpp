@@ -1,0 +1,44 @@
+// Deterministic key-value store — the application used throughout the
+// paper's evaluation (clients issue 200-byte writes/reads against a KV
+// store).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "app/application.hpp"
+
+namespace spider {
+
+/// Operations understood by the KV store.
+enum class KvOp : std::uint8_t { Put = 1, Get = 2, Del = 3, Size = 4 };
+
+/// Builds encoded KV operations (client-side helpers).
+Bytes kv_put(const std::string& key, BytesView value);
+Bytes kv_get(const std::string& key);
+Bytes kv_del(const std::string& key);
+Bytes kv_size();
+
+/// Reply decoding: status byte (1 = found/ok, 0 = missing) + value bytes.
+struct KvReply {
+  bool ok = false;
+  Bytes value;
+};
+KvReply kv_decode_reply(BytesView reply);
+
+class KvStore : public Application {
+ public:
+  Bytes execute(BytesView op) override;
+  Bytes execute_readonly(BytesView op) const override;
+  Bytes snapshot() const override;
+  void restore(BytesView snapshot) override;
+  std::unique_ptr<Application> clone_empty() const override;
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+ private:
+  Bytes apply(BytesView op, bool allow_mutation);
+  std::map<std::string, Bytes> data_;
+};
+
+}  // namespace spider

@@ -1,0 +1,203 @@
+#include "baselines/bft_system.hpp"
+
+#include "sim/world.hpp"
+
+namespace spider {
+
+namespace {
+Bytes tagged(std::uint32_t tag, BytesView inner) {
+  Writer w;
+  w.u32(tag);
+  w.raw(inner);
+  return std::move(w).take();
+}
+
+constexpr Duration kExecCost = 8;
+}  // namespace
+
+BftReplica::BftReplica(World& world, NodeId self, Site site, std::uint32_t index,
+                       const BftConfig& cfg, std::vector<NodeId> all,
+                       std::unique_ptr<Application> app)
+    : ComponentHost(world, self, site), f_(cfg.f),
+      checkpoint_interval_(cfg.checkpoint_interval), app_(std::move(app)) {
+  PbftConfig pc;
+  pc.replicas = std::move(all);
+  pc.my_index = index;
+  pc.f = cfg.f;
+  pc.weights = cfg.weights;
+  pc.quorum_weight = cfg.quorum_weight;
+  pc.request_timeout = cfg.request_timeout;
+  pc.view_change_timeout = cfg.view_change_timeout;
+  pbft_ = std::make_unique<PbftReplica>(*this, pc,
+                                        [this](SeqNr s, BytesView m) { on_deliver(s, m); });
+  // A-Validity: only order authenticated client requests.
+  pbft_->validate = [this](BytesView wire) {
+    try {
+      Reader r(wire);
+      ClientFrame frame = ClientFrame::decode(r);
+      if (frame.req.kind == OpKind::WeakRead) return false;
+      charge_verify();
+      return crypto().verify(frame.req.client, tagged(tags::kClient, frame.req.encode()),
+                             frame.signature);
+    } catch (const SerdeError&) {
+      return false;
+    }
+  };
+
+  checkpointer_ = std::make_unique<Checkpointer>(
+      *this, tags::kCheckpoint, pc.replicas, cfg.f,
+      [this](SeqNr s, BytesView state) { on_stable_checkpoint(s, state); });
+}
+
+void BftReplica::on_message(NodeId from, BytesView data) {
+  try {
+    Reader r(data);
+    std::uint32_t tag = r.u32();
+    if (tag == tags::kClient) {
+      handle_client(from, r);
+      return;
+    }
+  } catch (const SerdeError&) {
+    return;
+  }
+  ComponentHost::on_message(from, data);
+}
+
+void BftReplica::handle_client(NodeId from, Reader& r) {
+  BytesView all = r.raw(r.remaining());
+  std::size_t mac_len = crypto().mac_size();
+  if (all.size() <= mac_len) return;
+  BytesView body = all.subspan(0, all.size() - mac_len);
+  BytesView mac = all.subspan(all.size() - mac_len);
+  charge_mac();
+  if (!crypto().verify_mac(from, id(), tagged(tags::kClient, body), mac)) return;
+
+  Reader br(body);
+  ClientFrame frame = ClientFrame::decode(br);
+  const ClientRequest& req = frame.req;
+  if (req.client != from) return;
+
+  if (req.kind == OpKind::WeakRead || req.kind == OpKind::StrongRead) {
+    // PBFT optimized reads: answer directly from local state. Weak reads
+    // need f+1 matching replies, strong reads 2f+1 (both requiring a WAN
+    // quorum in this architecture — the point of paper Figure 8).
+    charge(kExecCost);
+    Bytes result = app_->execute_readonly(req.op);
+    reply_to(from, req.counter, result, true);
+    return;
+  }
+
+  std::uint64_t& last = t_[req.client];
+  if (req.counter <= last) {
+    auto uit = replies_.find(req.client);
+    if (uit != replies_.end() && uit->second.counter == req.counter) {
+      reply_to(from, req.counter, uit->second.result, false);
+    }
+    return;
+  }
+  // Signature is re-checked in the consensus validator; ordering the raw
+  // frame keeps the proposal identical across replicas.
+  pbft_->order(to_bytes(body));
+}
+
+void BftReplica::on_deliver(SeqNr s, BytesView request) {
+  sn_ = s;
+  if (request.empty()) return;  // null request from a view change
+  try {
+    Reader r(request);
+    ClientFrame frame = ClientFrame::decode(r);
+    const ClientRequest& req = frame.req;
+    std::uint64_t& last = t_[req.client];
+    ReplyCacheEntry& e = replies_[req.client];
+    if (req.counter <= e.counter) {
+      if (req.counter == e.counter) reply_to(req.client, req.counter, e.result, false);
+      return;
+    }
+    last = std::max(last, req.counter);
+    charge(kExecCost);
+    Bytes result = req.kind == OpKind::StrongRead ? app_->execute_readonly(req.op)
+                                                  : app_->execute(req.op);
+    e.counter = req.counter;
+    e.result = std::move(result);
+    reply_to(req.client, req.counter, e.result, false);
+  } catch (const SerdeError&) {
+    return;
+  }
+  if (sn_ % checkpoint_interval_ == 0) {
+    checkpointer_->gen_cp(sn_, snapshot_state());
+  }
+}
+
+void BftReplica::reply_to(NodeId client, std::uint64_t counter, BytesView result, bool weak) {
+  ReplyMsg reply{counter, to_bytes(result), weak};
+  Bytes body = reply.encode();
+  charge_mac();
+  Bytes mac = crypto().mac(id(), client, tagged(tags::kClient, body));
+  Bytes wire = std::move(body);
+  wire.insert(wire.end(), mac.begin(), mac.end());
+  send_to(client, tagged(tags::kClient, wire));
+}
+
+Bytes BftReplica::snapshot_state() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(replies_.size()));
+  for (const auto& [client, e] : replies_) {
+    w.u32(client);
+    w.u64(e.counter);
+    w.bytes(e.result);
+  }
+  w.bytes(app_->snapshot());
+  return std::move(w).take();
+}
+
+void BftReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
+  pbft_->gc(s + 1);
+  if (s > sn_) {
+    try {
+      Reader r(state);
+      std::uint32_t n = r.u32();
+      std::map<NodeId, ReplyCacheEntry> replies;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        NodeId c = r.u32();
+        ReplyCacheEntry e;
+        e.counter = r.u64();
+        e.result = r.bytes();
+        replies[c] = std::move(e);
+      }
+      app_->restore(r.bytes_view());
+      replies_ = std::move(replies);
+      for (const auto& [c, e] : replies_) t_[c] = std::max(t_[c], e.counter);
+      sn_ = s;
+    } catch (const SerdeError&) {
+    }
+  }
+}
+
+BftSystem::BftSystem(World& world, BftConfig cfg) : world_(world), cfg_(std::move(cfg)) {
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < cfg_.sites.size(); ++i) ids.push_back(world_.allocate_id());
+  for (std::size_t i = 0; i < cfg_.sites.size(); ++i) {
+    replicas_.push_back(std::make_unique<BftReplica>(world_, ids[i], cfg_.sites[i],
+                                                     static_cast<std::uint32_t>(i), cfg_, ids,
+                                                     cfg_.make_app()));
+  }
+}
+
+std::vector<NodeId> BftSystem::replica_ids() const {
+  std::vector<NodeId> ids;
+  for (const auto& r : replicas_) ids.push_back(r->id());
+  return ids;
+}
+
+ClientGroupInfo BftSystem::client_info() const {
+  ClientGroupInfo info{0, replica_ids(), cfg_.f};
+  info.direct_strong_reads = true;
+  info.strong_quorum = 2 * cfg_.f + 1;
+  return info;
+}
+
+std::unique_ptr<SpiderClient> BftSystem::make_client(Site site, Duration retry) {
+  return std::make_unique<SpiderClient>(world_, site, client_info(), retry);
+}
+
+}  // namespace spider

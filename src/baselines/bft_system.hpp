@@ -1,0 +1,90 @@
+// Baseline "BFT": traditional geo-replicated PBFT (paper §5, Figure 1a).
+//
+// 3f+1 replicas, one per geographic site, run the full consensus protocol
+// over wide-area links. Doubles as:
+//   - BFT-WV (weighted voting, WHEAT-style) via `weights`/`quorum_weight`
+//     with 3f+1+Δ replicas, and
+//   - Spider-0E (agreement group that also executes, no IRMC) by placing
+//     all replicas in availability zones of a single region.
+//
+// Clients reuse the SpiderClient (signed requests to all replicas, f+1
+// matching replies; weak reads answered from local state).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "app/application.hpp"
+#include "app/kvstore.hpp"
+#include "consensus/pbft_replica.hpp"
+#include "spider/checkpointer.hpp"
+#include "spider/client.hpp"
+#include "spider/messages.hpp"
+
+namespace spider {
+
+struct BftConfig {
+  std::vector<Site> sites;  // one replica per entry; index 0 = view-0 leader
+  std::uint32_t f = 1;
+  std::vector<std::uint32_t> weights;  // empty = classic
+  std::uint32_t quorum_weight = 0;     // 0 = 2f+1
+  std::uint64_t checkpoint_interval = 32;
+  Duration request_timeout = 2 * kSecond;
+  Duration view_change_timeout = 4 * kSecond;
+  std::function<std::unique_ptr<Application>()> make_app = [] {
+    return std::make_unique<KvStore>();
+  };
+};
+
+class BftReplica : public ComponentHost {
+ public:
+  BftReplica(World& world, NodeId self, Site site, std::uint32_t index, const BftConfig& cfg,
+             std::vector<NodeId> all, std::unique_ptr<Application> app);
+
+  void on_message(NodeId from, BytesView data) override;
+
+  [[nodiscard]] SeqNr executed_seq() const { return sn_; }
+  [[nodiscard]] const Application& app() const { return *app_; }
+  PbftReplica& consensus() { return *pbft_; }
+
+ private:
+  void handle_client(NodeId from, Reader& r);
+  void on_deliver(SeqNr s, BytesView request);
+  void reply_to(NodeId client, std::uint64_t counter, BytesView result, bool weak);
+  Bytes snapshot_state() const;
+  void on_stable_checkpoint(SeqNr s, BytesView state);
+
+  std::uint32_t f_;
+  std::uint64_t checkpoint_interval_;
+  std::unique_ptr<Application> app_;
+  std::unique_ptr<PbftReplica> pbft_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+
+  SeqNr sn_ = 0;
+  std::map<NodeId, std::uint64_t> t_;  // latest ordered counter per client
+  struct ReplyCacheEntry {
+    std::uint64_t counter = 0;
+    Bytes result;
+  };
+  std::map<NodeId, ReplyCacheEntry> replies_;
+};
+
+class BftSystem {
+ public:
+  BftSystem(World& world, BftConfig cfg);
+
+  [[nodiscard]] std::size_t size() const { return replicas_.size(); }
+  BftReplica& replica(std::size_t i) { return *replicas_[i]; }
+  [[nodiscard]] std::vector<NodeId> replica_ids() const;
+
+  /// Client info: all replicas, f+1 matching replies.
+  [[nodiscard]] ClientGroupInfo client_info() const;
+  std::unique_ptr<SpiderClient> make_client(Site site, Duration retry = 2 * kSecond);
+
+ private:
+  World& world_;
+  BftConfig cfg_;
+  std::vector<std::unique_ptr<BftReplica>> replicas_;
+};
+
+}  // namespace spider

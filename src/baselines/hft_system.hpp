@@ -1,0 +1,142 @@
+// Baseline "HFT": hierarchical fault tolerance in the shape of Steward
+// (Amir et al., paper §2.2 and Figure 1b).
+//
+// Each geographic site hosts a cluster of 3f+1 replicas. Site-internal
+// rounds produce threshold-style certificates (f+1 partial signatures —
+// our substitution for Shoup threshold RSA, same WAN message complexity),
+// which turn each site into a logically crash-only entity. The wide-area
+// protocol is leader-site based:
+//
+//   client -> local site: Update certificate        (local round)
+//   local site rep -> leader site rep               (WAN)
+//   leader site: Proposal certificate (assign seq)  (local round)
+//   leader rep -> all site reps                     (WAN broadcast)
+//   each site: Accept certificate                   (local round)
+//   site reps exchange Accepts                      (WAN broadcast)
+//   majority of site Accepts -> globally ordered -> execute + reply locally
+//
+// Simplifications vs. full Steward (documented in DESIGN.md): fixed site
+// representatives, no hierarchical view changes, no state transfer — the
+// baseline is evaluated fault-free, exactly as in the paper's latency
+// experiments.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "app/application.hpp"
+#include "app/kvstore.hpp"
+#include "sim/component.hpp"
+#include "spider/client.hpp"
+#include "spider/messages.hpp"
+
+namespace spider {
+
+struct HftConfig {
+  std::vector<Region> site_regions = {Region::Virginia, Region::Oregon, Region::Ireland,
+                                      Region::Tokyo};
+  std::uint32_t f = 1;          // per-site Byzantine faults
+  std::uint32_t leader_site = 0;
+  std::function<std::unique_ptr<Application>()> make_app = [] {
+    return std::make_unique<KvStore>();
+  };
+};
+
+class HftSystem;
+
+class HftReplica : public ComponentHost {
+ public:
+  HftReplica(World& world, NodeId self, Site site, std::uint32_t site_id,
+             std::uint32_t index_in_site, const HftConfig& cfg,
+             std::vector<std::vector<NodeId>> site_members,
+             std::unique_ptr<Application> app);
+
+  void on_message(NodeId from, BytesView data) override;
+
+  [[nodiscard]] bool is_rep() const { return index_ == 0; }
+  /// Steward uses (2f+1)-of-(3f+1) threshold signatures for site
+  /// certificates; our certificate substitution keeps that quorum.
+  [[nodiscard]] std::uint32_t threshold() const { return 2 * f_ + 1; }
+  [[nodiscard]] SeqNr executed_seq() const { return executed_; }
+  [[nodiscard]] const Application& app() const { return *app_; }
+
+ private:
+  // Wire message kinds within tags::kHft.
+  enum class Kind : std::uint8_t {
+    SignReq = 1,   // rep -> site replicas: please sign `statement`
+    Partial = 2,   // replica -> rep: signature share
+    Update = 3,    // site rep -> leader rep: update certificate + frame
+    Proposal = 4,  // leader rep -> site reps: seq assignment certificate
+    Accept = 5,    // site rep -> site reps: accept certificate
+    Commit = 6,    // rep -> own site replicas: execute
+  };
+
+  struct PendingCert {
+    Bytes statement;
+    Bytes payload;                       // frame carried alongside
+    std::map<NodeId, Bytes> sigs;        // collected partials
+    bool completed = false;
+  };
+
+  void handle_client(NodeId from, Reader& r);
+  void start_local_round(const Bytes& statement, const Bytes& payload);
+  void handle_sign_req(NodeId from, Reader& r);
+  void handle_partial(NodeId from, Reader& r);
+  void on_certificate(const Bytes& statement, const Bytes& payload,
+                      std::vector<std::pair<NodeId, Bytes>> sigs);
+  void handle_update(NodeId from, Reader& r);
+  void handle_proposal(NodeId from, Reader& r);
+  void handle_accept(NodeId from, Reader& r);
+  void handle_commit(NodeId from, Reader& r);
+  void try_execute();
+  void reply_to(NodeId client, std::uint64_t counter, BytesView result, bool weak);
+  bool verify_cert(std::uint32_t site, BytesView statement,
+                   const std::vector<std::pair<NodeId, Bytes>>& sigs);
+
+  std::uint32_t site_id_;
+  std::uint32_t index_;
+  std::uint32_t f_;
+  std::uint32_t leader_site_;
+  std::vector<std::vector<NodeId>> sites_;  // members per site (index 0 = rep)
+  std::unique_ptr<Application> app_;
+
+  // Representative state.
+  std::map<std::uint64_t, PendingCert> rounds_;  // statement key -> collection
+  SeqNr next_seq_ = 1;                            // leader: next global seq
+  struct Ordering {
+    Bytes frame;
+    std::uint32_t origin_site = 0;
+    std::set<std::uint32_t> accepts;
+    bool proposal_seen = false;
+    bool committed = false;
+  };
+  std::map<SeqNr, Ordering> order_state_;
+
+  // Execution state (all replicas).
+  SeqNr executed_ = 0;
+  std::map<SeqNr, std::pair<Bytes, std::uint32_t>> commit_buffer_;  // frame, origin
+  std::map<NodeId, std::uint64_t> t_;
+  std::map<NodeId, std::pair<std::uint64_t, Bytes>> replies_;
+};
+
+class HftSystem {
+ public:
+  HftSystem(World& world, HftConfig cfg);
+
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  HftReplica& replica(std::uint32_t site, std::uint32_t i) { return *sites_[site][i]; }
+
+  /// Client info for the site nearest to `r` (2f+1... all 3f+1 site members;
+  /// clients need f+1 matching replies).
+  [[nodiscard]] ClientGroupInfo site_info(std::uint32_t site) const;
+  [[nodiscard]] std::uint32_t nearest_site(Region r) const;
+  std::unique_ptr<SpiderClient> make_client(Site site, Duration retry = 2 * kSecond);
+
+ private:
+  World& world_;
+  HftConfig cfg_;
+  std::vector<std::vector<std::unique_ptr<HftReplica>>> sites_;
+};
+
+}  // namespace spider

@@ -1,0 +1,30 @@
+// Basic byte-buffer aliases used throughout the library.
+//
+// All protocol messages are serialized to `Bytes` before transmission;
+// signatures and MACs are computed over the serialized representation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spider {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Copies a view into an owned buffer.
+inline Bytes to_bytes(BytesView v) { return Bytes(v.begin(), v.end()); }
+
+/// Converts an ASCII string to a byte buffer (no terminator).
+inline Bytes to_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+/// Interprets a byte buffer as an ASCII string.
+inline std::string to_string(BytesView v) { return std::string(v.begin(), v.end()); }
+
+inline bool bytes_equal(BytesView a, BytesView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace spider

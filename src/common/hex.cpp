@@ -1,0 +1,37 @@
+#include "common/hex.hpp"
+
+#include <stdexcept>
+
+namespace spider {
+
+std::string to_hex(BytesView v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(v.size() * 2);
+  for (std::uint8_t b : v) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("invalid hex digit");
+}
+}  // namespace
+
+Bytes from_hex(const std::string& s) {
+  if (s.size() % 2 != 0) throw std::invalid_argument("odd-length hex string");
+  Bytes out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((nibble(s[i]) << 4) | nibble(s[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace spider

@@ -1,0 +1,16 @@
+// Hex encoding helpers (debugging, test vectors).
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace spider {
+
+/// Lower-case hex encoding.
+std::string to_hex(BytesView v);
+
+/// Decodes a hex string; throws std::invalid_argument on malformed input.
+Bytes from_hex(const std::string& s);
+
+}  // namespace spider

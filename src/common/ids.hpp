@@ -1,0 +1,28 @@
+// Core identifier and protocol-number types shared by all subsystems.
+#pragma once
+
+#include <cstdint>
+
+namespace spider {
+
+/// Globally unique identifier of a process (replica or client).
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Identifier of a replica group (agreement group or execution group).
+using GroupId = std::uint32_t;
+constexpr GroupId kAgreementGroup = 0;
+
+/// Agreement sequence number (total order position). 0 = "nothing yet".
+using SeqNr = std::uint64_t;
+
+/// Position within an IRMC subchannel (starts at 1).
+using Position = std::uint64_t;
+
+/// Subchannel identifier within an IRMC (client id, or 0 for commit channels).
+using Subchannel = std::uint64_t;
+
+/// Consensus view number.
+using ViewNr = std::uint64_t;
+
+}  // namespace spider

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Used for simulation jitter, workload generation and (deterministic) key
+// generation. Never use this for real-world key material.
+#pragma once
+
+#include <cstdint>
+
+namespace spider {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias for practical purposes.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Exponentially distributed value with given mean (for Poisson arrivals).
+  double exponential(double mean);
+
+  /// Fork an independent stream (for per-node RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace spider

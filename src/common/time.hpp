@@ -1,0 +1,19 @@
+// Simulated-time types. The simulator clock is a signed 64-bit microsecond
+// counter; durations use the same unit.
+#pragma once
+
+#include <cstdint>
+
+namespace spider {
+
+using Time = std::int64_t;      // absolute simulated time, microseconds
+using Duration = std::int64_t;  // microseconds
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000 * 1000;
+
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1000.0; }
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / 1'000'000.0; }
+
+}  // namespace spider

@@ -1,0 +1,35 @@
+// Agreement black-box interface (paper Figure 12).
+//
+// Spider treats consensus as a pluggable black box with exactly this
+// contract: order() submits a message, the deliver callback emits messages
+// in a gap-free total order, and gc(s) discards everything before sequence
+// number s (after which no sequence number < s may be delivered).
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace spider {
+
+class Agreement {
+ public:
+  /// In-order delivery callback. `request` may be empty for a no-op decided
+  /// during fault handling (consumers must still consume the sequence
+  /// number). The first delivered sequence number is 1.
+  using DeliverFn = std::function<void(SeqNr s, BytesView request)>;
+
+  virtual ~Agreement() = default;
+
+  /// Requests ordering of `m`. May be called on any replica; duplicates
+  /// (same content) are ordered at most once.
+  virtual void order(Bytes m) = 0;
+
+  /// Forget everything before (<) sequence number `s`. After this call no
+  /// sequence number < s will be delivered; a replica that had not yet
+  /// delivered up to s-1 skips forward (the caller has the state).
+  virtual void gc(SeqNr s) = 0;
+};
+
+}  // namespace spider

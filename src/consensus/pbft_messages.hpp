@@ -1,0 +1,81 @@
+// PBFT wire messages (Castro & Liskov, OSDI '99) with weighted-voting
+// support. Normal-case messages are HMAC-authenticated; view-change and
+// new-view messages carry signatures, as in the original protocol.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace spider::pbft {
+
+enum class MsgType : std::uint8_t {
+  PrePrepare = 1,
+  Prepare = 2,
+  Commit = 3,
+  ViewChange = 4,
+  NewView = 5,
+};
+
+struct PrePrepareMsg {
+  ViewNr view = 0;
+  SeqNr seq = 0;
+  Bytes request;  // full request payload (empty = null request)
+
+  Bytes encode() const;
+  static PrePrepareMsg decode(Reader& r);
+};
+
+struct PrepareMsg {
+  ViewNr view = 0;
+  SeqNr seq = 0;
+  Sha256Digest digest{};
+  std::uint32_t replica = 0;  // sender index
+
+  Bytes encode(bool commit_phase) const;  // also encodes CommitMsg
+  static PrepareMsg decode(Reader& r);
+};
+using CommitMsg = PrepareMsg;
+
+/// Certificate that an instance prepared in some view; carried inside
+/// view-change messages (with the full request so the new primary can
+/// re-propose without a fetch protocol).
+struct PreparedProof {
+  SeqNr seq = 0;
+  ViewNr view = 0;
+  Bytes request;
+
+  void encode_into(Writer& w) const;
+  static PreparedProof decode(Reader& r);
+};
+
+struct ViewChangeMsg {
+  ViewNr new_view = 0;
+  SeqNr stable_floor = 0;  // highest gc'd sequence number (watermark anchor)
+  std::uint32_t replica = 0;
+  std::vector<PreparedProof> prepared;
+
+  Bytes encode() const;
+  static ViewChangeMsg decode(Reader& r);
+};
+
+struct NewViewMsg {
+  ViewNr new_view = 0;
+  SeqNr stable_floor = 0;  // max floor among the view-change quorum
+  std::uint32_t replica = 0;
+  /// Pre-prepares the new primary issues for in-flight instances; empty
+  /// request = null request (no-op).
+  std::vector<PreparedProof> proposals;
+
+  Bytes encode() const;
+  static NewViewMsg decode(Reader& r);
+};
+
+/// Digest binding a request to nothing else (PBFT digests requests only;
+/// (view, seq) binding happens via the message fields).
+Sha256Digest request_digest(BytesView request);
+
+}  // namespace spider::pbft

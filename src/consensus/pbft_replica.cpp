@@ -1,0 +1,402 @@
+#include "consensus/pbft_replica.hpp"
+
+#include <algorithm>
+
+namespace spider {
+
+using pbft::MsgType;
+
+namespace {
+constexpr std::size_t kKnownCap = 200'000;  // bounded dedup memory
+}
+
+PbftReplica::PbftReplica(ComponentHost& host, PbftConfig config, DeliverFn deliver,
+                         std::uint32_t tag)
+    : Component(host, tag), cfg_(std::move(config)), deliver_(std::move(deliver)) {
+  vc_timeout_cur_ = cfg_.view_change_timeout;
+}
+
+std::uint32_t PbftReplica::weight(const std::set<std::uint32_t>& s) const {
+  std::uint32_t sum = 0;
+  for (std::uint32_t idx : s) sum += cfg_.weight_of(idx);
+  return sum;
+}
+
+std::optional<std::uint32_t> PbftReplica::index_of(NodeId node) const {
+  for (std::uint32_t i = 0; i < cfg_.n(); ++i) {
+    if (cfg_.replicas[i] == node) return i;
+  }
+  return std::nullopt;
+}
+
+// --------------------------------------------------------------- auth I/O
+
+void PbftReplica::broadcast(BytesView inner, bool sign) {
+  if (mute) return;
+  Bytes authed = to_bytes(inner);
+  if (sign) {
+    host().charge_sign();
+    Bytes sig = crypto().sign(self(), auth_bytes(inner));
+    authed.insert(authed.end(), sig.begin(), sig.end());
+    for (std::uint32_t i = 0; i < cfg_.n(); ++i) {
+      if (i == cfg_.my_index) continue;
+      send(cfg_.replicas[i], authed);
+    }
+  } else {
+    for (std::uint32_t i = 0; i < cfg_.n(); ++i) {
+      if (i == cfg_.my_index) continue;
+      host().charge_mac();
+      Bytes tag_bytes = crypto().mac(self(), cfg_.replicas[i], auth_bytes(inner));
+      Bytes msg = to_bytes(inner);
+      msg.insert(msg.end(), tag_bytes.begin(), tag_bytes.end());
+      send(cfg_.replicas[i], msg);
+    }
+  }
+}
+
+bool PbftReplica::check_mac(NodeId from, BytesView inner, BytesView tag_bytes) {
+  host().charge_mac();
+  return crypto().verify_mac(from, self(), auth_bytes(inner), tag_bytes);
+}
+
+bool PbftReplica::check_sig(NodeId from, BytesView inner, BytesView sig) {
+  host().charge_verify();
+  return crypto().verify(from, auth_bytes(inner), sig);
+}
+
+void PbftReplica::on_message(NodeId from, Reader& r) {
+  BytesView all = r.raw(r.remaining());
+  if (all.empty()) return;
+  auto type = static_cast<MsgType>(all[0]);
+  const bool signed_msg = type == MsgType::ViewChange || type == MsgType::NewView;
+  const std::size_t auth_len = signed_msg ? crypto().signature_size() : crypto().mac_size();
+  if (all.size() <= auth_len) return;
+
+  BytesView body = all.subspan(0, all.size() - auth_len);
+  BytesView auth = all.subspan(all.size() - auth_len);
+  std::optional<std::uint32_t> idx = index_of(from);
+  if (!idx) return;  // not a group member
+  if (signed_msg ? !check_sig(from, body, auth) : !check_mac(from, body, auth)) return;
+
+  Reader br(body);
+  br.u8();  // type, already inspected
+  switch (type) {
+    case MsgType::PrePrepare: handle_preprepare(*idx, pbft::PrePrepareMsg::decode(br)); break;
+    case MsgType::Prepare: handle_prepare(*idx, pbft::PrepareMsg::decode(br)); break;
+    case MsgType::Commit: handle_commit(*idx, pbft::CommitMsg::decode(br)); break;
+    case MsgType::ViewChange: handle_viewchange(*idx, pbft::ViewChangeMsg::decode(br)); break;
+    case MsgType::NewView: handle_newview(*idx, pbft::NewViewMsg::decode(br)); break;
+    default: break;
+  }
+}
+
+// --------------------------------------------------------------- ordering
+
+bool PbftReplica::already_known(std::uint64_t key) const { return known_.count(key) > 0; }
+
+void PbftReplica::note_delivered(std::uint64_t key) {
+  if (known_.insert(key).second) {
+    known_order_.push_back(key);
+    if (known_order_.size() > kKnownCap) {
+      known_.erase(known_order_.front());
+      known_order_.pop_front();
+    }
+  }
+  pending_reqs_.erase(key);
+  in_log_.erase(key);
+  cancel_request_timer(key);
+}
+
+void PbftReplica::order(Bytes m) {
+  host().charge_hash(m.size());
+  std::uint64_t key = digest_prefix(pbft::request_digest(m));
+  if (already_known(key) || pending_reqs_.count(key)) return;
+  if (!validate(m)) return;
+  pending_reqs_.emplace(key, std::move(m));
+  pending_order_.push_back(key);
+  arm_request_timer(key);
+  try_propose();
+}
+
+void PbftReplica::arm_request_timer(std::uint64_t key) {
+  if (request_timers_.count(key)) return;
+  request_timers_[key] = set_timer(cfg_.request_timeout, [this, key] {
+    request_timers_.erase(key);
+    if (pending_reqs_.count(key)) start_view_change(view_ + 1);
+  });
+}
+
+void PbftReplica::cancel_request_timer(std::uint64_t key) {
+  auto it = request_timers_.find(key);
+  if (it == request_timers_.end()) return;
+  cancel_timer(it->second);
+  request_timers_.erase(it);
+}
+
+void PbftReplica::try_propose() {
+  if (!is_primary() || vc_active_) return;
+  while (!pending_order_.empty() && next_seq_ <= floor_ + cfg_.window) {
+    std::uint64_t key = pending_order_.front();
+    auto it = pending_reqs_.find(key);
+    if (it == pending_reqs_.end() || in_log_.count(key)) {
+      pending_order_.pop_front();
+      continue;
+    }
+    propose(it->second);
+    in_log_.insert(key);
+    pending_order_.pop_front();
+  }
+}
+
+void PbftReplica::propose(Bytes request) {
+  SeqNr s = next_seq_++;
+  Entry& e = log_[s];
+  e.view = view_;
+  e.has_preprepare = true;
+  e.digest = pbft::request_digest(request);
+  e.request = std::move(request);
+  e.prepares.insert(cfg_.my_index);  // pre-prepare counts as primary's prepare
+
+  pbft::PrePrepareMsg m{view_, s, e.request};
+  host().charge_hash(e.request.size());
+  broadcast(m.encode(), /*sign=*/false);
+  maybe_send_commit(s, e);
+}
+
+void PbftReplica::handle_preprepare(std::uint32_t from_idx, pbft::PrePrepareMsg m) {
+  if (vc_active_ || m.view != view_) return;
+  if (from_idx != primary_index(m.view)) return;
+  if (!in_window(m.seq)) return;
+  if (!validate(m.request) && !m.request.empty()) return;
+
+  Entry& e = log_[m.seq];
+  if (e.has_preprepare) {
+    // Duplicate or equivocation: keep the first accepted pre-prepare.
+    return;
+  }
+  e.view = m.view;
+  e.has_preprepare = true;
+  host().charge_hash(m.request.size());
+  e.digest = pbft::request_digest(m.request);
+  e.request = std::move(m.request);
+  e.prepares.insert(from_idx);
+  in_log_.insert(digest_prefix(e.digest));
+
+  if (!is_primary() && !e.prepare_sent) {
+    e.prepare_sent = true;
+    e.prepares.insert(cfg_.my_index);
+    pbft::PrepareMsg p{view_, m.seq, e.digest, cfg_.my_index};
+    broadcast(p.encode(false), /*sign=*/false);
+  }
+  maybe_send_commit(m.seq, e);
+  try_deliver();
+}
+
+void PbftReplica::handle_prepare(std::uint32_t from_idx, pbft::PrepareMsg m) {
+  if (vc_active_ || m.view != view_ || !in_window(m.seq)) return;
+  Entry& e = log_[m.seq];
+  if (e.has_preprepare && !(e.digest == m.digest)) return;  // digest mismatch
+  e.prepares.insert(from_idx);
+  maybe_send_commit(m.seq, e);
+}
+
+void PbftReplica::maybe_send_commit(SeqNr s, Entry& e) {
+  if (!e.has_preprepare || e.commit_sent) return;
+  if (weight(e.prepares) < cfg_.quorum()) return;
+  e.commit_sent = true;
+  e.commits.insert(cfg_.my_index);
+  pbft::CommitMsg c{view_, s, e.digest, cfg_.my_index};
+  broadcast(c.encode(true), /*sign=*/false);
+  if (e.has_preprepare && weight(e.commits) >= cfg_.quorum()) {
+    e.committed = true;
+    try_deliver();
+  }
+}
+
+void PbftReplica::handle_commit(std::uint32_t from_idx, pbft::CommitMsg m) {
+  if (m.view != view_ || !in_window(m.seq)) return;
+  Entry& e = log_[m.seq];
+  if (e.has_preprepare && !(e.digest == m.digest)) return;
+  e.commits.insert(from_idx);
+  if (e.has_preprepare && !e.committed && weight(e.prepares) >= cfg_.quorum() &&
+      weight(e.commits) >= cfg_.quorum()) {
+    e.committed = true;
+    try_deliver();
+  }
+}
+
+void PbftReplica::try_deliver() {
+  while (true) {
+    auto it = log_.find(last_delivered_ + 1);
+    if (it == log_.end() || !it->second.committed) return;
+    SeqNr s = it->first;
+    Bytes request = it->second.request;  // copy: callback may mutate the log via gc()
+    last_delivered_ = s;
+    if (!request.empty()) {
+      note_delivered(digest_prefix(pbft::request_digest(request)));
+    }
+    deliver_(s, request);
+  }
+}
+
+void PbftReplica::gc(SeqNr s) {
+  if (s == 0) return;
+  SeqNr new_floor = s - 1;
+  if (new_floor <= floor_) return;
+  floor_ = new_floor;
+  log_.erase(log_.begin(), log_.lower_bound(floor_ + 1));
+  if (last_delivered_ < floor_) last_delivered_ = floor_;
+  if (next_seq_ <= floor_) next_seq_ = floor_ + 1;
+  try_deliver();
+  try_propose();
+}
+
+// --------------------------------------------------------------- view change
+
+void PbftReplica::start_view_change(ViewNr target) {
+  if (target <= view_) return;
+  if (vc_active_ && vc_target_ >= target) return;
+  vc_active_ = true;
+  vc_target_ = target;
+  ++vc_started_;
+
+  // Suspend request timers; the view-change timer now guards liveness.
+  for (auto& [key, timer] : request_timers_) cancel_timer(timer);
+  request_timers_.clear();
+  if (vc_timer_ != EventQueue::kInvalidEvent) cancel_timer(vc_timer_);
+  vc_timer_ = set_timer(vc_timeout_cur_, [this] {
+    vc_timer_ = EventQueue::kInvalidEvent;
+    if (vc_active_) {
+      vc_timeout_cur_ *= 2;
+      start_view_change(vc_target_ + 1);
+    }
+  });
+
+  pbft::ViewChangeMsg vc;
+  vc.new_view = target;
+  vc.stable_floor = floor_;
+  vc.replica = cfg_.my_index;
+  for (const auto& [seq, e] : log_) {
+    if (seq <= floor_) continue;
+    if (e.has_preprepare && weight(e.prepares) >= cfg_.quorum()) {
+      vc.prepared.push_back(pbft::PreparedProof{seq, e.view, e.request});
+    }
+  }
+  vcs_[target][cfg_.my_index] = vc;
+  broadcast(vc.encode(), /*sign=*/true);
+  maybe_complete_view_change(target);
+}
+
+void PbftReplica::handle_viewchange(std::uint32_t from_idx, pbft::ViewChangeMsg m) {
+  if (m.replica != from_idx) return;  // claimed index must match sender
+  if (m.new_view <= view_) return;
+  vcs_[m.new_view][from_idx] = std::move(m);
+  ViewNr nv = vcs_.rbegin()->first;
+
+  // Join rule: f+1 weight asking for a higher view means at least one
+  // correct replica timed out; join to preserve liveness.
+  for (auto& [target, senders] : vcs_) {
+    if (target <= view_) continue;
+    std::set<std::uint32_t> idxs;
+    for (auto& [idx, msg] : senders) idxs.insert(idx);
+    if (weight(idxs) >= cfg_.f + 1 && (!vc_active_ || vc_target_ < target)) {
+      start_view_change(target);
+      break;
+    }
+  }
+  maybe_complete_view_change(nv);
+}
+
+void PbftReplica::maybe_complete_view_change(ViewNr target) {
+  if (target <= view_) return;
+  if (primary_index(target) != cfg_.my_index) return;
+  auto vit = vcs_.find(target);
+  if (vit == vcs_.end()) return;
+  std::set<std::uint32_t> idxs;
+  for (auto& [idx, msg] : vit->second) idxs.insert(idx);
+  if (weight(idxs) < cfg_.quorum()) return;
+
+  // Assemble the new-view proposal set.
+  SeqNr max_floor = 0;
+  SeqNr max_seq = 0;
+  for (auto& [idx, msg] : vit->second) {
+    max_floor = std::max(max_floor, msg.stable_floor);
+    for (const pbft::PreparedProof& p : msg.prepared) max_seq = std::max(max_seq, p.seq);
+  }
+
+  pbft::NewViewMsg nv;
+  nv.new_view = target;
+  nv.stable_floor = max_floor;
+  nv.replica = cfg_.my_index;
+  for (SeqNr s = max_floor + 1; s <= max_seq; ++s) {
+    const pbft::PreparedProof* best = nullptr;
+    for (auto& [idx, msg] : vit->second) {
+      for (const pbft::PreparedProof& p : msg.prepared) {
+        if (p.seq == s && (best == nullptr || p.view > best->view)) best = &p;
+      }
+    }
+    if (best != nullptr) {
+      nv.proposals.push_back(*best);
+    } else {
+      nv.proposals.push_back(pbft::PreparedProof{s, 0, {}});  // null request
+    }
+  }
+
+  broadcast(nv.encode(), /*sign=*/true);
+  enter_view(target, max_floor, nv.proposals);
+}
+
+void PbftReplica::handle_newview(std::uint32_t from_idx, pbft::NewViewMsg m) {
+  if (m.new_view <= view_) return;
+  if (from_idx != primary_index(m.new_view)) return;
+  enter_view(m.new_view, m.stable_floor, m.proposals);
+}
+
+void PbftReplica::enter_view(ViewNr v, SeqNr floor_hint, const std::vector<pbft::PreparedProof>& proposals) {
+  view_ = v;
+  vc_active_ = false;
+  if (vc_timer_ != EventQueue::kInvalidEvent) {
+    cancel_timer(vc_timer_);
+    vc_timer_ = EventQueue::kInvalidEvent;
+  }
+  vc_timeout_cur_ = cfg_.view_change_timeout;
+  floor_ = std::max(floor_, floor_hint);
+  if (last_delivered_ < floor_) last_delivered_ = floor_;
+
+  // Rebuild the log from the new-view proposals.
+  log_.clear();
+  in_log_.clear();
+  next_seq_ = floor_ + 1;
+  const std::uint32_t p_idx = primary_index(v);
+
+  for (const pbft::PreparedProof& p : proposals) {
+    if (p.seq <= floor_) continue;
+    Entry& e = log_[p.seq];
+    e.view = v;
+    e.has_preprepare = true;
+    e.request = p.request;
+    e.digest = pbft::request_digest(p.request);
+    e.prepares.insert(p_idx);
+    if (!p.request.empty()) in_log_.insert(digest_prefix(e.digest));
+    next_seq_ = std::max(next_seq_, p.seq + 1);
+
+    if (cfg_.my_index != p_idx) {
+      e.prepare_sent = true;
+      e.prepares.insert(cfg_.my_index);
+      pbft::PrepareMsg pm{v, p.seq, e.digest, cfg_.my_index};
+      broadcast(pm.encode(false), /*sign=*/false);
+    }
+    maybe_send_commit(p.seq, e);
+  }
+
+  // Requests that lost their instance go back into the proposal queue.
+  pending_order_.clear();
+  for (auto& [key, req] : pending_reqs_) {
+    if (!in_log_.count(key)) pending_order_.push_back(key);
+    arm_request_timer(key);
+  }
+  try_propose();
+  try_deliver();
+}
+
+}  // namespace spider

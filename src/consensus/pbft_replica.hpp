@@ -1,0 +1,146 @@
+// PBFT consensus replica implementing the Agreement black box.
+//
+// Features:
+//   - three-phase normal case (pre-prepare / prepare / commit)
+//   - pipelined instances within a watermark window
+//   - view change + new view with prepared-certificate carry-over
+//   - pluggable vote weights (classic 2f+1 quorums, or WHEAT-style weighted
+//     voting for the BFT-WV baseline)
+//   - garbage collection driven by the embedding layer's checkpoints via
+//     gc(s), matching the paper's design where the consensus box is told
+//     to "collect garbage before s+1" (Fig. 17, L. 46)
+//
+// Simplifications vs. Castro-Liskov (documented in DESIGN.md): each order()
+// message is its own consensus instance (no request batching), and
+// view-change messages assert stable floors / prepared sets under the
+// sender's signature instead of carrying nested per-message proofs.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "consensus/agreement.hpp"
+#include "consensus/pbft_messages.hpp"
+#include "sim/component.hpp"
+
+namespace spider {
+
+struct PbftConfig {
+  std::vector<NodeId> replicas;   // all group members, index order
+  std::uint32_t my_index = 0;
+  std::uint32_t f = 1;            // tolerated Byzantine faults
+  std::vector<std::uint32_t> weights;  // empty => all weight 1
+  std::uint32_t quorum_weight = 0;     // 0 => 2f+1 (classic)
+
+  std::uint64_t window = 256;     // max in-flight instances above the floor
+  Duration request_timeout = 2 * kSecond;      // pending-request liveness timer
+  Duration view_change_timeout = 4 * kSecond;  // time to complete a view change
+
+  [[nodiscard]] std::uint32_t n() const { return static_cast<std::uint32_t>(replicas.size()); }
+  [[nodiscard]] std::uint32_t weight_of(std::uint32_t idx) const {
+    return weights.empty() ? 1 : weights[idx];
+  }
+  [[nodiscard]] std::uint32_t quorum() const {
+    return quorum_weight != 0 ? quorum_weight : 2 * f + 1;
+  }
+};
+
+class PbftReplica : public Component, public Agreement {
+ public:
+  PbftReplica(ComponentHost& host, PbftConfig config, DeliverFn deliver,
+              std::uint32_t tag = tags::kPbft);
+
+  // Agreement interface -------------------------------------------------
+  void order(Bytes m) override;
+  void gc(SeqNr s) override;
+
+  // Component interface --------------------------------------------------
+  void on_message(NodeId from, Reader& r) override;
+
+  // Introspection (tests, stats) -----------------------------------------
+  [[nodiscard]] ViewNr view() const { return view_; }
+  [[nodiscard]] bool is_primary() const { return primary_index(view_) == cfg_.my_index; }
+  [[nodiscard]] SeqNr last_delivered() const { return last_delivered_; }
+  [[nodiscard]] SeqNr floor() const { return floor_; }
+  [[nodiscard]] std::size_t pending_count() const { return pending_reqs_.size(); }
+  [[nodiscard]] std::uint64_t view_changes_started() const { return vc_started_; }
+
+  /// Optional request validator (A-Validity hook); invalid requests are
+  /// not proposed or prepared. Default accepts everything.
+  std::function<bool(BytesView)> validate = [](BytesView) { return true; };
+
+  /// Test hook: a "mute" replica stops sending protocol messages
+  /// (fail-silent Byzantine behaviour, e.g. a faulty primary).
+  bool mute = false;
+
+ private:
+  struct Entry {
+    ViewNr view = 0;
+    bool has_preprepare = false;
+    Bytes request;
+    Sha256Digest digest{};
+    std::set<std::uint32_t> prepares;  // replica indices incl. primary + self
+    std::set<std::uint32_t> commits;
+    bool prepare_sent = false;
+    bool commit_sent = false;
+    bool committed = false;
+  };
+
+  [[nodiscard]] std::uint32_t primary_index(ViewNr v) const { return static_cast<std::uint32_t>(v % cfg_.n()); }
+  [[nodiscard]] std::uint32_t weight(const std::set<std::uint32_t>& s) const;
+  [[nodiscard]] std::optional<std::uint32_t> index_of(NodeId node) const;
+  [[nodiscard]] bool in_window(SeqNr s) const { return s > floor_ && s <= floor_ + cfg_.window; }
+
+  void broadcast(BytesView inner, bool sign);
+  bool check_mac(NodeId from, BytesView inner, BytesView tag_bytes);
+  bool check_sig(NodeId from, BytesView inner, BytesView sig);
+
+  void try_propose();
+  void propose(Bytes request);
+  void handle_preprepare(std::uint32_t from_idx, pbft::PrePrepareMsg m);
+  void handle_prepare(std::uint32_t from_idx, pbft::PrepareMsg m);
+  void handle_commit(std::uint32_t from_idx, pbft::CommitMsg m);
+  void handle_viewchange(std::uint32_t from_idx, pbft::ViewChangeMsg m);
+  void handle_newview(std::uint32_t from_idx, pbft::NewViewMsg m);
+
+  void maybe_send_commit(SeqNr s, Entry& e);
+  void try_deliver();
+  void start_view_change(ViewNr target);
+  void maybe_complete_view_change(ViewNr target);
+  void enter_view(ViewNr v, SeqNr floor_hint, const std::vector<pbft::PreparedProof>& proposals);
+  void arm_request_timer(std::uint64_t digest_key);
+  void cancel_request_timer(std::uint64_t digest_key);
+  void note_delivered(std::uint64_t digest_key);
+  [[nodiscard]] bool already_known(std::uint64_t digest_key) const;
+
+  PbftConfig cfg_;
+  DeliverFn deliver_;
+
+  ViewNr view_ = 0;
+  bool vc_active_ = false;
+  ViewNr vc_target_ = 0;
+  EventQueue::EventId vc_timer_ = EventQueue::kInvalidEvent;
+  Duration vc_timeout_cur_ = 0;
+  std::uint64_t vc_started_ = 0;
+
+  SeqNr floor_ = 0;           // everything <= floor_ is garbage-collected
+  SeqNr next_seq_ = 1;        // next instance a primary assigns
+  SeqNr last_delivered_ = 0;  // highest delivered (or skipped) seq
+
+  std::map<SeqNr, Entry> log_;
+  // Pending (undelivered) requests by digest key + FIFO proposal order.
+  std::unordered_map<std::uint64_t, Bytes> pending_reqs_;
+  std::deque<std::uint64_t> pending_order_;
+  std::unordered_set<std::uint64_t> in_log_;  // digests currently assigned an instance
+  std::unordered_map<std::uint64_t, EventQueue::EventId> request_timers_;
+  std::unordered_set<std::uint64_t> known_;  // delivered digests (dedup)
+  std::deque<std::uint64_t> known_order_;    // bounded pruning
+
+  std::map<ViewNr, std::map<std::uint32_t, pbft::ViewChangeMsg>> vcs_;
+};
+
+}  // namespace spider

@@ -1,0 +1,46 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace spider {
+
+Sha256Digest hmac_sha256(BytesView key, BytesView data) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    Sha256Digest kd = Sha256::hash(key);
+    std::memcpy(k.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (int i = 0; i < 64; ++i) {
+    ipad[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(k[static_cast<std::size_t>(i)] ^ 0x36);
+    opad[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(k[static_cast<std::size_t>(i)] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(data);
+  Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Bytes hmac_tag(BytesView key, BytesView data) {
+  Sha256Digest d = hmac_sha256(key, data);
+  return Bytes(d.begin(), d.begin() + 16);
+}
+
+bool mac_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+}  // namespace spider

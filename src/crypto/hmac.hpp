@@ -1,0 +1,21 @@
+// HMAC-SHA-256 (RFC 2104), used for point-to-point message authentication
+// between clients and replicas and between replicas of the same group
+// (the paper authenticates non-signed messages with HMAC-SHA-256).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace spider {
+
+/// Computes HMAC-SHA-256 over `data` with `key`.
+Sha256Digest hmac_sha256(BytesView key, BytesView data);
+
+/// Truncated 16-byte MAC, matching common deployments that truncate HMACs.
+Bytes hmac_tag(BytesView key, BytesView data);
+
+/// Constant-time-ish comparison (not security critical in the simulator, but
+/// the real-system idiom is kept).
+bool mac_equal(BytesView a, BytesView b);
+
+}  // namespace spider

@@ -1,0 +1,48 @@
+// From-scratch RSA signatures (PKCS#1 v1.5-style padding over SHA-256).
+//
+// The paper authenticates IRMC traffic, client requests and checkpoint
+// messages with 1024-bit RSA signatures; this module provides a real
+// implementation (deterministic keygen from a seeded RNG, CRT signing)
+// used by the `RealCrypto` provider in tests and examples.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/bigint.hpp"
+
+namespace spider {
+
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+
+  [[nodiscard]] std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+  [[nodiscard]] Bytes encode() const;
+  static RsaPublicKey decode(BytesView v);
+};
+
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt d;
+  // CRT components for ~4x faster signing.
+  BigInt p, q, dp, dq, qinv;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generates an RSA key pair with a `bits`-bit modulus (e = 65537).
+/// Deterministic given the RNG state.
+RsaKeyPair rsa_generate(Rng& rng, std::size_t bits = 1024);
+
+/// Signs SHA-256(message) with PKCS#1 v1.5-style padding.
+Bytes rsa_sign(const RsaPrivateKey& key, BytesView message);
+
+/// Verifies a signature produced by rsa_sign.
+bool rsa_verify(const RsaPublicKey& key, BytesView message, BytesView signature);
+
+}  // namespace spider

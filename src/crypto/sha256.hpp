@@ -1,0 +1,44 @@
+// From-scratch SHA-256 (FIPS 180-4).
+//
+// Used for message digests, request hashing, checkpoint hashes and as the
+// compression function behind HMAC-SHA-256.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace spider {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  /// Finalizes and returns the digest; the context must be reset before reuse.
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Digest as an owned byte buffer (convenience for serialization).
+Bytes sha256(BytesView data);
+
+/// A compact 8-byte digest prefix used as hash-map key for request digests.
+std::uint64_t digest_prefix(const Sha256Digest& d);
+
+}  // namespace spider

@@ -1,0 +1,131 @@
+#include "irmc/messages.hpp"
+
+namespace spider::irmc {
+
+namespace {
+void put_digest(Writer& w, const Sha256Digest& d) { w.raw(BytesView(d.data(), d.size())); }
+
+Sha256Digest get_digest(Reader& r) {
+  BytesView v = r.raw(32);
+  Sha256Digest d;
+  std::copy(v.begin(), v.end(), d.begin());
+  return d;
+}
+}  // namespace
+
+Bytes SendMsg::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Send));
+  w.u64(sc);
+  w.u64(p);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+SendMsg SendMsg::decode(Reader& r) {
+  SendMsg m;
+  m.sc = r.u64();
+  m.p = r.u64();
+  m.payload = r.bytes();
+  return m;
+}
+
+Bytes MoveMsg::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Move));
+  w.u64(sc);
+  w.u64(p);
+  return std::move(w).take();
+}
+
+MoveMsg MoveMsg::decode(Reader& r) {
+  MoveMsg m;
+  m.sc = r.u64();
+  m.p = r.u64();
+  return m;
+}
+
+Bytes SigShareMsg::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::SigShare));
+  w.u64(sc);
+  w.u64(p);
+  put_digest(w, digest);
+  return std::move(w).take();
+}
+
+SigShareMsg SigShareMsg::decode(Reader& r) {
+  SigShareMsg m;
+  m.sc = r.u64();
+  m.p = r.u64();
+  m.digest = get_digest(r);
+  return m;
+}
+
+Bytes CertificateMsg::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Certificate));
+  w.u64(sc);
+  w.u64(p);
+  w.bytes(payload);
+  w.u32(static_cast<std::uint32_t>(shares.size()));
+  for (const auto& [idx, sig] : shares) {
+    w.u32(idx);
+    w.bytes(sig);
+  }
+  return std::move(w).take();
+}
+
+CertificateMsg CertificateMsg::decode(Reader& r) {
+  CertificateMsg m;
+  m.sc = r.u64();
+  m.p = r.u64();
+  m.payload = r.bytes();
+  std::uint32_t n = r.u32();
+  m.shares.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t idx = r.u32();
+    m.shares.emplace_back(idx, r.bytes());
+  }
+  return m;
+}
+
+Bytes ProgressMsg::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Progress));
+  w.u32(static_cast<std::uint32_t>(progress.size()));
+  for (const auto& [sc, p] : progress) {
+    w.u64(sc);
+    w.u64(p);
+  }
+  return std::move(w).take();
+}
+
+ProgressMsg ProgressMsg::decode(Reader& r) {
+  ProgressMsg m;
+  std::uint32_t n = r.u32();
+  m.progress.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Subchannel sc = r.u64();
+    Position p = r.u64();
+    m.progress.emplace_back(sc, p);
+  }
+  return m;
+}
+
+Bytes SelectMsg::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Select));
+  w.u64(sc);
+  w.u32(collector);
+  return std::move(w).take();
+}
+
+SelectMsg SelectMsg::decode(Reader& r) {
+  SelectMsg m;
+  m.sc = r.u64();
+  m.collector = r.u32();
+  return m;
+}
+
+}  // namespace spider::irmc

@@ -1,0 +1,31 @@
+#include "sim/component.hpp"
+
+namespace spider {
+
+void ComponentHost::send_component(std::uint32_t tag, NodeId to, BytesView inner) {
+  Writer w;
+  w.u32(tag);
+  w.raw(inner);
+  send_to(to, std::move(w).take());
+}
+
+void ComponentHost::on_message(NodeId from, BytesView data) {
+  try {
+    Reader r(data);
+    std::uint32_t tag = r.u32();
+    auto it = components_.find(tag);
+    if (it == components_.end()) return;  // unknown component: drop
+    it->second->on_message(from, r);
+  } catch (const SerdeError&) {
+    // Malformed (possibly Byzantine) message: drop silently.
+  }
+}
+
+Bytes Component::auth_bytes(BytesView inner) const {
+  Writer w;
+  w.u32(tag_);
+  w.raw(inner);
+  return std::move(w).take();
+}
+
+}  // namespace spider

@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+namespace spider {
+
+EventQueue::EventId EventQueue::schedule_at(Time at, Fn fn) {
+  if (at < now_) at = now_;
+  EventId id = next_id_++;
+  events_.emplace(Key{at, id}, std::move(fn));
+  index_.emplace(id, at);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  events_.erase(Key{it->second, id});
+  index_.erase(it);
+}
+
+bool EventQueue::run_next() {
+  if (events_.empty()) return false;
+  auto it = events_.begin();
+  now_ = it->first.first;
+  Fn fn = std::move(it->second);
+  index_.erase(it->first.second);
+  events_.erase(it);
+  fn();
+  return true;
+}
+
+void EventQueue::run_until(Time t) {
+  while (!events_.empty() && events_.begin()->first.first <= t) run_next();
+  if (now_ < t) now_ = t;
+}
+
+void EventQueue::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && run_next()) ++n;
+}
+
+}  // namespace spider

@@ -1,0 +1,51 @@
+// Discrete-event scheduler with a virtual microsecond clock.
+//
+// Events at equal timestamps run in scheduling order (FIFO), which makes
+// whole-system runs fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/time.hpp"
+
+namespace spider {
+
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  /// Schedules `fn` at absolute time `at` (clamped to now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(Time at, Fn fn);
+  /// Schedules `fn` after `delay` from now.
+  EventId schedule_after(Duration delay, Fn fn) { return schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+  /// Runs the earliest event; returns false if none pending.
+  bool run_next();
+  /// Runs all events with time <= t, then sets now() = t.
+  void run_until(Time t);
+  void run_for(Duration d) { run_until(now_ + d); }
+  /// Runs until the queue drains or `max_events` were processed.
+  void run_all(std::size_t max_events = 100'000'000);
+
+ private:
+  using Key = std::pair<Time, EventId>;
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::map<Key, Fn> events_;
+  std::map<EventId, Time> index_;
+};
+
+}  // namespace spider

@@ -1,0 +1,75 @@
+#include "sim/network.hpp"
+
+#include "sim/node.hpp"
+
+namespace spider {
+
+namespace {
+std::uint64_t pair_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+}  // namespace
+
+SimNetwork::SimNetwork(EventQueue& queue, Rng rng) : queue_(queue), rng_(rng) {}
+
+void SimNetwork::attach(SimNode* node) { nodes_[node->id()] = node; }
+
+void SimNetwork::detach(NodeId id) { nodes_.erase(id); }
+
+bool SimNetwork::is_down(NodeId id) const {
+  auto it = down_.find(id);
+  return it != down_.end() && it->second;
+}
+
+void SimNetwork::set_node_down(NodeId id, bool down) { down_[id] = down; }
+
+void SimNetwork::set_link_filter(std::function<bool(NodeId, NodeId)> filter) {
+  filter_ = std::move(filter);
+}
+
+void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
+  auto from_it = nodes_.find(from);
+  auto to_it = nodes_.find(to);
+  if (from_it == nodes_.end() || to_it == nodes_.end()) return;
+  if (is_down(from) || is_down(to)) return;
+  if (filter_ && !filter_(from, to)) return;
+
+  SimNode* src = from_it->second;
+  SimNode* dst = to_it->second;
+  const std::size_t size = payload.size();
+  const bool wan = is_wan(src->site(), dst->site());
+
+  if (wan) {
+    stats_.wan_bytes += size;
+    stats_.wan_msgs += 1;
+    node_stats_[from].sent_wan_bytes += size;
+  } else {
+    stats_.lan_bytes += size;
+    stats_.lan_msgs += 1;
+    node_stats_[from].sent_lan_bytes += size;
+  }
+  node_stats_[to].recv_bytes += size;
+
+  Duration base = one_way_latency(src->site(), dst->site());
+  Duration jitter = static_cast<Duration>(rng_.uniform01() * jitter_frac * static_cast<double>(base));
+  Duration transmit = static_cast<Duration>(static_cast<double>(size) / bandwidth_bytes_per_us);
+  Time arrival = queue_.now() + fixed_overhead + base + jitter + transmit;
+
+  // Per-pair FIFO: never deliver earlier than a previously sent message.
+  Time& clearance = pair_clearance_[pair_key(from, to)];
+  if (arrival < clearance) arrival = clearance;
+  clearance = arrival;
+
+  queue_.schedule_at(arrival, [this, from, to, msg = std::move(payload)]() mutable {
+    auto it = nodes_.find(to);
+    if (it == nodes_.end() || is_down(to) || is_down(from)) return;
+    it->second->deliver(from, std::move(msg));
+  });
+}
+
+void SimNetwork::reset_stats() {
+  stats_.reset();
+  node_stats_.clear();
+}
+
+}  // namespace spider

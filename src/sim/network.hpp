@@ -1,0 +1,80 @@
+// Simulated network: point-to-point message delivery with geographic
+// latency, jitter, per-node bandwidth, fault injection and WAN/LAN byte
+// accounting (the paper's Figure 9d reports exactly these counters).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/topology.hpp"
+
+namespace spider {
+
+class SimNode;
+
+struct LinkStats {
+  std::uint64_t wan_bytes = 0;
+  std::uint64_t lan_bytes = 0;
+  std::uint64_t wan_msgs = 0;
+  std::uint64_t lan_msgs = 0;
+
+  void reset() { *this = LinkStats{}; }
+};
+
+struct PerNodeNetStats {
+  std::uint64_t sent_wan_bytes = 0;
+  std::uint64_t sent_lan_bytes = 0;
+  std::uint64_t recv_bytes = 0;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(EventQueue& queue, Rng rng);
+
+  void attach(SimNode* node);
+  void detach(NodeId id);
+
+  /// Sends `payload` from `from` to `to`. Messages between distinct node
+  /// pairs are independent; messages on the same (from, to) pair are
+  /// delivered FIFO (reliable ordered channel, as the paper assumes).
+  void send(NodeId from, NodeId to, Bytes payload);
+
+  // ---- fault injection ------------------------------------------------
+  /// Drops every message for which the filter returns false.
+  void set_link_filter(std::function<bool(NodeId from, NodeId to)> filter);
+  /// A "down" node neither sends nor receives (crash fault).
+  void set_node_down(NodeId id, bool down);
+  [[nodiscard]] bool is_down(NodeId id) const;
+
+  // ---- accounting ------------------------------------------------------
+  LinkStats& stats() { return stats_; }
+  PerNodeNetStats& node_stats(NodeId id) { return node_stats_[id]; }
+  void reset_stats();
+
+  /// Per-node NIC bandwidth in bytes per microsecond (default ~0.6 Gbit/s
+  /// sustained, matching a t3.small-class instance).
+  double bandwidth_bytes_per_us = 75.0;
+  /// Extra fixed per-hop delay (kernel/NIC).
+  Duration fixed_overhead = 30;
+  /// Relative uniform jitter applied to the propagation delay.
+  double jitter_frac = 0.02;
+
+ private:
+  EventQueue& queue_;
+  Rng rng_;
+  std::unordered_map<NodeId, SimNode*> nodes_;
+  std::unordered_map<NodeId, bool> down_;
+  // Earliest time the next message on a (from,to) pair may arrive, to keep
+  // per-pair FIFO under jitter.
+  std::unordered_map<std::uint64_t, Time> pair_clearance_;
+  std::function<bool(NodeId, NodeId)> filter_;
+  LinkStats stats_;
+  std::unordered_map<NodeId, PerNodeNetStats> node_stats_;
+};
+
+}  // namespace spider

@@ -1,0 +1,102 @@
+#include "sim/node.hpp"
+
+#include "crypto/provider.hpp"
+#include "sim/world.hpp"
+
+namespace spider {
+
+SimNode::SimNode(World& world, NodeId id, Site site) : world_(world), id_(id), site_(site) {
+  world_.net().attach(this);
+}
+
+SimNode::~SimNode() { world_.net().detach(id_); }
+
+Time SimNode::now() const { return world_.queue().now(); }
+
+CryptoProvider& SimNode::crypto() { return world_.crypto(); }
+
+void SimNode::deliver(NodeId from, Bytes data) {
+  const CryptoCosts& c = crypto().costs();
+  Duration base = c.proc_per_msg + c.proc_per_kb * static_cast<Duration>(data.size()) / 1024;
+  enqueue_task([this, from, msg = std::move(data)]() { on_message(from, msg); }, base);
+}
+
+void SimNode::enqueue_task(std::function<void()> logic, Duration base_cost) {
+  task_queue_.push_back(Task{std::move(logic), base_cost});
+  if (!drain_scheduled_) schedule_drain(std::max(now(), busy_until_));
+}
+
+void SimNode::schedule_drain(Time at) {
+  drain_scheduled_ = true;
+  world_.queue().schedule_at(at, [this] { drain(); });
+}
+
+void SimNode::drain() {
+  drain_scheduled_ = false;
+  if (task_queue_.empty()) return;
+  if (now() < busy_until_) {
+    // Work got charged outside a task since this drain was scheduled.
+    schedule_drain(busy_until_);
+    return;
+  }
+  Task t = std::move(task_queue_.front());
+  task_queue_.pop_front();
+  run_task(std::move(t.logic), t.base_cost);
+  if (!task_queue_.empty()) schedule_drain(busy_until_);
+}
+
+void SimNode::run_task(std::function<void()> logic, Duration base_cost) {
+  in_task_ = true;
+  task_charge_ = base_cost;
+  logic();
+  in_task_ = false;
+
+  Time start = now();
+  busy_until_ = start + task_charge_;
+  busy_accum_ += task_charge_;
+
+  // Outputs leave the node once the CPU work is done.
+  if (!outbox_.empty()) {
+    std::vector<std::pair<NodeId, Bytes>> out = std::move(outbox_);
+    outbox_.clear();
+    world_.queue().schedule_at(busy_until_, [this, out = std::move(out)]() mutable {
+      for (auto& [to, data] : out) world_.net().send(id_, to, std::move(data));
+    });
+  }
+}
+
+void SimNode::charge(Duration cost) {
+  if (in_task_) {
+    task_charge_ += cost;
+  } else {
+    busy_until_ = std::max(busy_until_, now()) + cost;
+    busy_accum_ += cost;
+  }
+}
+
+void SimNode::charge_sign() { charge(crypto().costs().sign); }
+void SimNode::charge_verify() { charge(crypto().costs().verify); }
+void SimNode::charge_mac() { charge(crypto().costs().mac); }
+void SimNode::charge_hash(std::size_t nbytes) {
+  charge(crypto().costs().hash_per_kb * static_cast<Duration>(nbytes + 1023) / 1024);
+}
+
+void SimNode::send_to(NodeId to, Bytes data) {
+  const CryptoCosts& c = crypto().costs();
+  charge(c.proc_per_msg / 2 + c.proc_per_kb * static_cast<Duration>(data.size()) / 1024);
+  if (in_task_) {
+    outbox_.emplace_back(to, std::move(data));
+  } else {
+    world_.net().send(id_, to, std::move(data));
+  }
+}
+
+EventQueue::EventId SimNode::set_timer(Duration delay, std::function<void()> fn) {
+  return world_.queue().schedule_after(delay, [this, fn = std::move(fn)]() {
+    enqueue_task(fn, crypto().costs().proc_per_msg / 2);
+  });
+}
+
+void SimNode::cancel_timer(EventQueue::EventId id) { world_.queue().cancel(id); }
+
+}  // namespace spider

@@ -1,0 +1,92 @@
+// Simulated process with a single-server CPU queue.
+//
+// Every inbound message or timer is handled as a CPU task: handling starts
+// when the CPU is free, runs the component logic (which may charge crypto /
+// processing costs via charge()), and outbound messages are released when
+// the accumulated CPU work completes. This yields realistic queueing and
+// lets benchmarks report CPU utilization (paper Figure 9c).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/topology.hpp"
+
+namespace spider {
+
+class World;
+class CryptoProvider;
+
+class SimNode {
+ public:
+  SimNode(World& world, NodeId id, Site site);
+  virtual ~SimNode();
+
+  SimNode(const SimNode&) = delete;
+  SimNode& operator=(const SimNode&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Site site() const { return site_; }
+  World& world() { return world_; }
+  [[nodiscard]] Time now() const;
+  CryptoProvider& crypto();
+
+  /// Protocol logic: called once per inbound message, on the CPU.
+  virtual void on_message(NodeId from, BytesView data) = 0;
+
+  /// Network entry point (schedules CPU handling; do not call from logic).
+  void deliver(NodeId from, Bytes data);
+
+  // ---- usable from within handlers ------------------------------------
+  /// Adds CPU work to the current task (delays this task's outputs and all
+  /// following tasks).
+  void charge(Duration cost);
+  void charge_sign();
+  void charge_verify();
+  void charge_mac();
+  void charge_hash(std::size_t nbytes);
+
+  /// Queues a message; it leaves this node when the current task's CPU work
+  /// is done (or immediately if called outside a task).
+  void send_to(NodeId to, Bytes data);
+
+  /// Timer: fires as a CPU task after `delay`. Returns a cancellable id.
+  EventQueue::EventId set_timer(Duration delay, std::function<void()> fn);
+  void cancel_timer(EventQueue::EventId id);
+
+  // ---- stats -----------------------------------------------------------
+  [[nodiscard]] Duration busy_time() const { return busy_accum_; }
+  void reset_busy_time() { busy_accum_ = 0; }
+
+ private:
+  friend class SimNetwork;
+  struct Task {
+    std::function<void()> logic;
+    Duration base_cost;
+  };
+  void run_task(std::function<void()> logic, Duration base_cost);
+  void enqueue_task(std::function<void()> logic, Duration base_cost);
+  void schedule_drain(Time at);
+  void drain();
+
+  World& world_;
+  NodeId id_;
+  Site site_;
+  Time busy_until_ = 0;
+  Duration busy_accum_ = 0;
+
+  // FIFO CPU queue with a single drain event (O(1) per task).
+  std::deque<Task> task_queue_;
+  bool drain_scheduled_ = false;
+
+  // Set while a task executes.
+  bool in_task_ = false;
+  Duration task_charge_ = 0;
+  std::vector<std::pair<NodeId, Bytes>> outbox_;
+};
+
+}  // namespace spider

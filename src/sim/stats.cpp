@@ -1,0 +1,69 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace spider {
+
+void LatencyStats::add(Duration sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+Duration LatencyStats::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  auto idx = static_cast<std::size_t>(rank);
+  if (idx + 1 >= samples_.size()) return samples_.back();
+  double frac = rank - static_cast<double>(idx);
+  return static_cast<Duration>(static_cast<double>(samples_[idx]) * (1.0 - frac) +
+                               static_cast<double>(samples_[idx + 1]) * frac);
+}
+
+Duration LatencyStats::min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+Duration LatencyStats::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double LatencyStats::mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (Duration s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+void TimeSeries::add(Time at, double value) {
+  if (at < 0) return;
+  auto idx = static_cast<std::size_t>(at / bucket_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1);
+  buckets_[idx].sum += value;
+  buckets_[idx].count += 1;
+}
+
+std::vector<TimeSeries::Point> TimeSeries::points() const {
+  std::vector<Point> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].count == 0) continue;
+    out.push_back(Point{static_cast<Time>(i) * bucket_,
+                        buckets_[i].sum / static_cast<double>(buckets_[i].count),
+                        buckets_[i].count});
+  }
+  return out;
+}
+
+std::string format_ms(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f ms", to_ms(d));
+  return buf;
+}
+
+}  // namespace spider

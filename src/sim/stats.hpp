@@ -1,0 +1,75 @@
+// Measurement utilities: latency histograms with percentiles, bucketed time
+// series (for the adaptability timeline) and CPU utilization sampling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace spider {
+
+/// Collects duration samples; percentiles computed on demand.
+class LatencyStats {
+ public:
+  void add(Duration sample);
+  void clear() { samples_.clear(); sorted_ = true; }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] Duration percentile(double p) const;  // p in [0, 100]
+  [[nodiscard]] Duration median() const { return percentile(50.0); }
+  [[nodiscard]] Duration p90() const { return percentile(90.0); }
+  [[nodiscard]] Duration min() const;
+  [[nodiscard]] Duration max() const;
+  [[nodiscard]] double mean() const;
+
+ private:
+  mutable std::vector<Duration> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Averages samples into fixed-width time buckets (paper Figure 10 reports
+/// average response time over wall-clock time).
+class TimeSeries {
+ public:
+  explicit TimeSeries(Duration bucket_width) : bucket_(bucket_width) {}
+
+  void add(Time at, double value);
+
+  struct Point {
+    Time bucket_start;
+    double average;
+    std::size_t count;
+  };
+  [[nodiscard]] std::vector<Point> points() const;
+
+ private:
+  struct Bucket {
+    double sum = 0;
+    std::size_t count = 0;
+  };
+  Duration bucket_;
+  std::vector<Bucket> buckets_;
+};
+
+/// Utilization of a single-core CPU over a measurement window.
+struct CpuWindow {
+  Duration busy_at_start = 0;
+  Time window_start = 0;
+
+  void begin(Time now, Duration busy_accum) {
+    window_start = now;
+    busy_at_start = busy_accum;
+  }
+  [[nodiscard]] double utilization(Time now, Duration busy_accum) const {
+    Duration elapsed = now - window_start;
+    if (elapsed <= 0) return 0.0;
+    return 100.0 * static_cast<double>(busy_accum - busy_at_start) / static_cast<double>(elapsed);
+  }
+};
+
+/// Formats microseconds as "12.3 ms" for report output.
+std::string format_ms(Duration d);
+
+}  // namespace spider

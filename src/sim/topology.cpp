@@ -1,0 +1,68 @@
+#include "sim/topology.hpp"
+
+#include <array>
+
+namespace spider {
+
+const char* region_name(Region r) {
+  switch (r) {
+    case Region::Virginia: return "Virginia";
+    case Region::Oregon: return "Oregon";
+    case Region::Ireland: return "Ireland";
+    case Region::Tokyo: return "Tokyo";
+    case Region::SaoPaulo: return "SaoPaulo";
+    case Region::Ohio: return "Ohio";
+    case Region::California: return "California";
+    case Region::London: return "London";
+    case Region::Seoul: return "Seoul";
+  }
+  return "?";
+}
+
+const char* region_code(Region r) {
+  switch (r) {
+    case Region::Virginia: return "V";
+    case Region::Oregon: return "O";
+    case Region::Ireland: return "I";
+    case Region::Tokyo: return "T";
+    case Region::SaoPaulo: return "SP";
+    case Region::Ohio: return "OH";
+    case Region::California: return "CA";
+    case Region::London: return "LN";
+    case Region::Seoul: return "SE";
+  }
+  return "?";
+}
+
+namespace {
+// Inter-region RTTs in milliseconds (approximate public EC2 measurements).
+// Order: V, O, I, T, SP, OH, CA, LN, SE
+constexpr std::array<std::array<int, kNumRegions>, kNumRegions> kRttMs = {{
+    //  V    O    I    T   SP   OH   CA   LN   SE
+    {0, 68, 74, 156, 118, 11, 60, 76, 172},      // Virginia
+    {68, 0, 124, 97, 182, 50, 22, 130, 126},     // Oregon
+    {74, 124, 0, 212, 186, 86, 140, 11, 228},    // Ireland
+    {156, 97, 212, 0, 256, 152, 107, 210, 34},   // Tokyo
+    {118, 182, 186, 256, 0, 126, 172, 188, 294}, // SaoPaulo
+    {11, 50, 86, 152, 126, 0, 52, 82, 160},      // Ohio
+    {60, 22, 140, 107, 172, 52, 0, 136, 130},    // California
+    {76, 130, 11, 210, 188, 82, 136, 0, 230},    // London
+    {172, 126, 228, 34, 294, 160, 130, 230, 0},  // Seoul
+}};
+
+constexpr Duration kInterAzRtt = 1200;  // 1.2 ms
+constexpr Duration kIntraAzRtt = 400;   // 0.4 ms
+}  // namespace
+
+Duration region_rtt(Region a, Region b) {
+  return static_cast<Duration>(kRttMs[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]) *
+         kMillisecond;
+}
+
+Duration one_way_latency(const Site& a, const Site& b) {
+  if (a.region != b.region) return region_rtt(a.region, b.region) / 2;
+  if (a.az != b.az) return kInterAzRtt / 2;
+  return kIntraAzRtt / 2;
+}
+
+}  // namespace spider

@@ -1,0 +1,48 @@
+// Geographic topology modeled on Amazon EC2: regions, availability zones
+// and an inter-region RTT matrix (public measurements, rounded).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace spider {
+
+enum class Region : std::uint8_t {
+  Virginia = 0,   // us-east-1    (agreement group home in the paper)
+  Oregon = 1,     // us-west-2
+  Ireland = 2,    // eu-west-1
+  Tokyo = 3,      // ap-northeast-1
+  SaoPaulo = 4,   // sa-east-1    (joins in the adaptability experiment)
+  Ohio = 5,       // us-east-2    (extra fault domain for f=2)
+  California = 6, // us-west-1
+  London = 7,     // eu-west-2
+  Seoul = 8,      // ap-northeast-2
+};
+constexpr int kNumRegions = 9;
+
+const char* region_name(Region r);
+/// One-letter code used in the paper's figures (V, O, I, T, ...).
+const char* region_code(Region r);
+
+/// Placement of a node: region + availability zone index within the region.
+struct Site {
+  Region region = Region::Virginia;
+  std::uint8_t az = 0;
+
+  bool operator==(const Site&) const = default;
+};
+
+/// Round-trip time between two *regions* (microseconds). Zero if identical.
+Duration region_rtt(Region a, Region b);
+
+/// One-way base latency between two sites: half the region RTT, or the
+/// AZ-level latency when the regions match (inter-AZ ~ 1.2 ms RTT,
+/// intra-AZ ~ 0.4 ms RTT).
+Duration one_way_latency(const Site& a, const Site& b);
+
+/// True if the two sites are in different regions (a wide-area link).
+inline bool is_wan(const Site& a, const Site& b) { return a.region != b.region; }
+
+}  // namespace spider

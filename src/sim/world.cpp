@@ -1,0 +1,11 @@
+#include "sim/world.hpp"
+
+namespace spider {
+
+World::World(std::uint64_t seed, std::unique_ptr<CryptoProvider> crypto)
+    : rng_(seed),
+      crypto_(crypto ? std::move(crypto) : std::make_unique<FastCrypto>(seed)) {
+  net_ = std::make_unique<SimNetwork>(queue_, rng_.fork());
+}
+
+}  // namespace spider

@@ -1,0 +1,42 @@
+// The simulation world: event queue + network + crypto + RNG + node ids.
+// One `World` per experiment; everything inside it is deterministic for a
+// given seed.
+#pragma once
+
+#include <memory>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "crypto/provider.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+
+namespace spider {
+
+class World {
+ public:
+  /// Creates a world with the given seed; `crypto` defaults to FastCrypto.
+  explicit World(std::uint64_t seed, std::unique_ptr<CryptoProvider> crypto = nullptr);
+
+  EventQueue& queue() { return queue_; }
+  SimNetwork& net() { return *net_; }
+  CryptoProvider& crypto() { return *crypto_; }
+  Rng& rng() { return rng_; }
+
+  [[nodiscard]] Time now() const { return queue_.now(); }
+  void run_until(Time t) { queue_.run_until(t); }
+  void run_for(Duration d) { queue_.run_for(d); }
+  void run_all(std::size_t max_events = 100'000'000) { queue_.run_all(max_events); }
+
+  /// Allocates a fresh process id.
+  NodeId allocate_id() { return next_id_++; }
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+  std::unique_ptr<CryptoProvider> crypto_;
+  std::unique_ptr<SimNetwork> net_;
+  NodeId next_id_ = 1;
+};
+
+}  // namespace spider

@@ -1,0 +1,379 @@
+#include "spider/agreement_replica.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+
+namespace spider {
+
+namespace {
+Bytes tagged(std::uint32_t tag, BytesView inner) {
+  Writer w;
+  w.u32(tag);
+  w.raw(inner);
+  return std::move(w).take();
+}
+}  // namespace
+
+AgreementReplica::AgreementReplica(World& world, Site site, AgreementConfig cfg)
+    : ComponentHost(world, cfg.self == kInvalidNode ? world.allocate_id() : cfg.self, site),
+      cfg_(std::move(cfg)) {
+  win_hi_ = cfg_.ag_win;
+
+  PbftConfig pc;
+  pc.replicas = cfg_.members;
+  pc.my_index = cfg_.my_index;
+  pc.f = cfg_.fa;
+  pc.request_timeout = cfg_.request_timeout;
+  pc.view_change_timeout = cfg_.view_change_timeout;
+  pc.window = cfg_.ag_win + cfg_.ka;  // consensus pipeline never below AG-WIN
+  pbft_ = std::make_unique<PbftReplica>(
+      *this, pc, [this](SeqNr s, BytesView m) { on_deliver(s, m); });
+  pbft_->validate = [this](BytesView wire) { return validate_request(wire); };
+
+  checkpointer_ = std::make_unique<Checkpointer>(
+      *this, tags::kCheckpoint, cfg_.members, cfg_.fa,
+      [this](SeqNr s, BytesView state) { on_stable_checkpoint(s, state); });
+
+  registry_.version = 0;
+  for (const RegistryEntry& g : cfg_.initial_groups) {
+    registry_.groups.push_back(g);
+    setup_channel(g, /*backfill=*/false);
+  }
+}
+
+bool AgreementReplica::validate_request(BytesView wire) const {
+  // A-Validity: only correctly authenticated client requests are ordered.
+  try {
+    Reader r(wire);
+    RequestMsg req = RequestMsg::decode(r);
+    const ClientRequest& cr = req.frame.req;
+    if (cr.kind == OpKind::WeakRead) return false;  // never ordered
+    if (cr.kind == OpKind::Reconfig && cr.client != cfg_.admin) return false;
+    auto* self_mut = const_cast<AgreementReplica*>(this);
+    self_mut->charge_verify();
+    return self_mut->crypto().verify(cr.client, tagged(tags::kClient, cr.encode()),
+                                     req.frame.signature);
+  } catch (const SerdeError&) {
+    return false;
+  }
+}
+
+void AgreementReplica::setup_channel(const RegistryEntry& info, bool backfill) {
+  if (channels_.count(info.group)) return;
+  std::uint32_t fe = static_cast<std::uint32_t>((info.members.size() - 1) / 2);
+
+  IrmcConfig req_cfg;
+  req_cfg.senders = info.members;
+  req_cfg.receivers = cfg_.members;
+  req_cfg.fs = fe;
+  req_cfg.fr = cfg_.fa;
+  req_cfg.capacity = cfg_.request_capacity;
+  req_cfg.channel_tag = request_channel_tag(info.group);
+  req_cfg.progress_interval = cfg_.progress_interval;
+  req_cfg.collector_timeout = cfg_.collector_timeout;
+
+  IrmcConfig com_cfg;
+  com_cfg.senders = cfg_.members;
+  com_cfg.receivers = info.members;
+  com_cfg.fs = cfg_.fa;
+  com_cfg.fr = fe;
+  com_cfg.capacity = cfg_.commit_capacity;
+  com_cfg.channel_tag = commit_channel_tag(info.group);
+  com_cfg.progress_interval = cfg_.progress_interval;
+  com_cfg.collector_timeout = cfg_.collector_timeout;
+  com_cfg.announce_window = true;  // revived execution replicas must learn
+                                   // that the commit window moved on
+
+  Channel ch;
+  ch.info = info;
+  ch.request_rx = make_irmc_receiver(cfg_.irmc_kind, *this, req_cfg);
+  ch.commit_tx = make_irmc_sender(cfg_.irmc_kind, *this, com_cfg);
+  GroupId g = info.group;
+  ch.request_rx->on_new_subchannel = [this, g](Subchannel c) { start_pull(g, c); };
+  channels_.emplace(g, std::move(ch));
+
+  if (backfill && !hist_.empty()) {
+    // Give the new group the recent Execute history; everything older must
+    // come from an execution checkpoint of another group (paper §3.6).
+    Channel& nc = channels_.at(g);
+    for (const HistEntry& h : hist_) {
+      nc.commit_tx->send(0, h.seq, derive_for(g, h.execute).encode(), {});
+    }
+    nc.commit_tx->move_window(0, hist_.front().seq);
+  }
+}
+
+void AgreementReplica::remove_channel(GroupId g) {
+  channels_.erase(g);
+  for (auto it = pulling_.begin(); it != pulling_.end();) {
+    if (it->first == g) {
+      it = pulling_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AgreementReplica::start_pull(GroupId g, Subchannel c) {
+  if (!pulling_.insert({g, c}).second) return;
+  // Pull loop (paper Fig. 17, L. 13-22). Client subchannels carry the
+  // client's request counter as position.
+  std::function<void()> pull = [this, g, c]() {
+    auto it = channels_.find(g);
+    if (it == channels_.end()) return;  // group removed
+    NodeId client = static_cast<NodeId>(c);
+    std::uint64_t pos = std::max<std::uint64_t>(t_plus_[client], 1);
+    it->second.request_rx->receive(c, pos, [this, g, c](RecvResult res) {
+      NodeId client = static_cast<NodeId>(c);
+      if (res.too_old) {
+        // The client already confirmed a newer request (L. 16-18).
+        t_plus_[client] = std::max(t_plus_[client], res.window_start);
+      } else {
+        pbft_->order(std::move(res.message));
+        t_plus_[client] = std::max<std::uint64_t>(t_plus_[client] + 1, 1);
+      }
+      auto again = channels_.find(g);
+      if (again == channels_.end()) return;
+      start_pull_again(g, c);
+    });
+  };
+  pull();
+}
+
+void AgreementReplica::start_pull_again(GroupId g, Subchannel c) {
+  pulling_.erase({g, c});
+  start_pull(g, c);
+}
+
+void AgreementReplica::on_deliver(SeqNr s, BytesView request) {
+  deliver_queue_.emplace_back(s, to_bytes(request));
+  process_queue();
+}
+
+void AgreementReplica::process_queue() {
+  while (!processing_ && !deliver_queue_.empty()) {
+    auto& [s, m] = deliver_queue_.front();
+    if (s > win_hi_) return;  // L. 27: sleep until the window allows
+    SeqNr seq = s;
+    Bytes request = std::move(m);
+    deliver_queue_.pop_front();
+    processing_ = true;
+    handle_ordered(seq, request);
+  }
+}
+
+void AgreementReplica::handle_ordered(SeqNr s, const Bytes& request) {
+  sn_ = s;
+  ExecuteMsg canonical;
+  canonical.seq = s;
+
+  if (request.empty()) {
+    canonical.kind = ExecuteKind::Noop;
+  } else {
+    try {
+      Reader r(request);
+      RequestMsg req = RequestMsg::decode(r);
+      const ClientRequest& cr = req.frame.req;
+      canonical.origin = req.origin;
+      canonical.client = cr.client;
+      canonical.counter = cr.counter;
+      canonical.op_kind = cr.kind;
+
+      if (cr.counter <= t_[cr.client] && cr.kind != OpKind::Reconfig) {
+        // Old/duplicate request: replace with a no-op (Fig. 17, L. 30).
+        canonical.kind = ExecuteKind::Noop;
+      } else if (cr.kind == OpKind::Reconfig) {
+        Reader cmd_r(cr.op);
+        ReconfigCmd cmd = ReconfigCmd::decode(cmd_r);
+        apply_reconfig(cmd);
+        canonical.kind = ExecuteKind::Reconfig;
+        canonical.op = cr.op;
+        t_[cr.client] = cr.counter;
+        t_plus_[cr.client] = std::max(t_plus_[cr.client], cr.counter + 1);
+      } else {
+        canonical.kind = ExecuteKind::Full;
+        canonical.op = cr.op;
+        t_[cr.client] = cr.counter;
+        t_plus_[cr.client] = std::max(t_plus_[cr.client], cr.counter + 1);
+      }
+    } catch (const SerdeError&) {
+      canonical.kind = ExecuteKind::Noop;
+    }
+  }
+
+  hist_.push_back(HistEntry{s, canonical});
+  while (hist_.size() > cfg_.commit_capacity) hist_.pop_front();
+
+  dispatch_execute(canonical, /*count_completions=*/true);
+  maybe_checkpoint();
+}
+
+ExecuteMsg AgreementReplica::derive_for(GroupId g, const ExecuteMsg& canonical) const {
+  // Strong reads are executed only by the origin group; everyone else gets
+  // a placeholder carrying just (client, counter) (paper §3.3).
+  if (canonical.kind == ExecuteKind::Full && canonical.op_kind == OpKind::StrongRead &&
+      canonical.origin != g) {
+    ExecuteMsg ph = canonical;
+    ph.kind = ExecuteKind::Placeholder;
+    ph.op.clear();
+    return ph;
+  }
+  return canonical;
+}
+
+void AgreementReplica::dispatch_execute(const ExecuteMsg& canonical, bool count_completions) {
+  if (!count_completions) {
+    for (auto& [g, ch] : channels_) {
+      ch.commit_tx->send(0, canonical.seq, derive_for(g, canonical).encode(), {});
+    }
+    return;
+  }
+
+  // Global flow control: resume processing once ne - z channels accepted
+  // the Execute; slow channels finish in the background (paper §3.5).
+  std::size_t ne = channels_.size();
+  std::size_t needed = ne > cfg_.z ? ne - cfg_.z : 0;
+  auto done = std::make_shared<std::size_t>(0);
+  auto resumed = std::make_shared<bool>(false);
+  auto resume = [this, done, resumed, needed](bool /*too_old*/, Position /*ws*/) {
+    ++*done;
+    if (*done >= needed && !*resumed) {
+      *resumed = true;
+      // Defer to a fresh event to keep the delivery pipeline iterative.
+      world().queue().schedule_after(0, [this] {
+        processing_ = false;
+        process_queue();
+      });
+    }
+  };
+  if (needed == 0) resume(false, 0);
+  for (auto& [g, ch] : channels_) {
+    ch.commit_tx->send(0, canonical.seq, derive_for(g, canonical).encode(), resume);
+  }
+}
+
+void AgreementReplica::apply_reconfig(const ReconfigCmd& cmd) {
+  if (cmd.add) {
+    if (channels_.count(cmd.group)) return;
+    RegistryEntry entry{cmd.group, cmd.region, cmd.members};
+    registry_.groups.push_back(entry);
+    ++registry_.version;
+    setup_channel(entry, /*backfill=*/true);
+  } else {
+    auto it = std::find_if(registry_.groups.begin(), registry_.groups.end(),
+                           [&](const RegistryEntry& e) { return e.group == cmd.group; });
+    if (it == registry_.groups.end()) return;
+    registry_.groups.erase(it);
+    ++registry_.version;
+    remove_channel(cmd.group);
+  }
+}
+
+void AgreementReplica::maybe_checkpoint() {
+  if (sn_ == 0 || sn_ % cfg_.ka != 0) return;
+  checkpointer_->gen_cp(sn_, snapshot_state());
+}
+
+Bytes AgreementReplica::snapshot_state() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(t_.size()));
+  for (const auto& [c, tc] : t_) {
+    w.u32(c);
+    w.u64(tc);
+  }
+  w.u32(static_cast<std::uint32_t>(hist_.size()));
+  for (const HistEntry& h : hist_) {
+    w.u64(h.seq);
+    w.bytes(h.execute.encode());
+  }
+  w.bytes(registry_.encode());
+  return std::move(w).take();
+}
+
+void AgreementReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
+  // Move commit windows and let consensus collect garbage (Fig. 17, L. 42-46).
+  SeqNr hist_cap = cfg_.commit_capacity;
+  Position new_lo = s > hist_cap ? s - hist_cap + 1 : 1;
+  for (auto& [g, ch] : channels_) ch.commit_tx->move_window(0, new_lo);
+  pbft_->gc(s + 1);
+
+  if (s > sn_) {
+    // This replica fell behind: adopt the checkpoint state (L. 47-56).
+    SeqNr old_sn = sn_;
+    try {
+      Reader r(state);
+      std::uint32_t nt = r.u32();
+      std::map<NodeId, std::uint64_t> t2;
+      for (std::uint32_t i = 0; i < nt; ++i) {
+        NodeId c = r.u32();
+        t2[c] = r.u64();
+      }
+      std::uint32_t nh = r.u32();
+      std::deque<HistEntry> hist2;
+      for (std::uint32_t i = 0; i < nh; ++i) {
+        HistEntry h;
+        h.seq = r.u64();
+        Reader er(r.bytes_view());
+        h.execute = ExecuteMsg::decode(er);
+        hist2.push_back(std::move(h));
+      }
+      Reader rr(r.bytes_view());
+      RegistrySnapshot reg = RegistrySnapshot::decode(rr);
+
+      sn_ = s;
+      t_ = std::move(t2);
+      for (const auto& [c, tc] : t_) {
+        t_plus_[c] = std::max(t_plus_[c], tc + 1);
+      }
+      hist_ = std::move(hist2);
+      if (reg.version > registry_.version) {
+        // Reconcile channels with the checkpointed registry.
+        for (const RegistryEntry& e : reg.groups) setup_channel(e, /*backfill=*/false);
+        for (auto it = channels_.begin(); it != channels_.end();) {
+          GroupId g = it->first;
+          bool keep = std::any_of(reg.groups.begin(), reg.groups.end(),
+                                  [&](const RegistryEntry& e) { return e.group == g; });
+          ++it;
+          if (!keep) remove_channel(g);
+        }
+        registry_ = std::move(reg);
+      }
+      // Push the skipped Executes out on all commit channels (L. 52-55).
+      for (const HistEntry& h : hist_) {
+        if (h.seq > old_sn && h.seq <= s) dispatch_execute(h.execute, false);
+      }
+    } catch (const SerdeError&) {
+      // A stable checkpoint is created by >= 1 correct replica; decode
+      // failure here would indicate a local bug, not a Byzantine peer.
+    }
+  }
+
+  win_hi_ = s + cfg_.ag_win;
+  process_queue();
+}
+
+void AgreementReplica::handle_registry_query(NodeId from) {
+  Bytes body = registry_.encode();
+  charge_mac();
+  Bytes mac = crypto().mac(id(), from, tagged(tags::kRegistry, body));
+  Bytes wire = body;
+  wire.insert(wire.end(), mac.begin(), mac.end());
+  send_to(from, tagged(tags::kRegistry, wire));
+}
+
+void AgreementReplica::on_message(NodeId from, BytesView data) {
+  try {
+    Reader r(data);
+    std::uint32_t tag = r.u32();
+    if (tag == tags::kRegistry) {
+      handle_registry_query(from);
+      return;
+    }
+  } catch (const SerdeError&) {
+    return;
+  }
+  ComponentHost::on_message(from, data);
+}
+
+}  // namespace spider

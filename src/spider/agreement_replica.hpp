@@ -1,0 +1,102 @@
+// Spider agreement replica (paper Fig. 17).
+//
+// Pulls client requests out of per-group request channels, feeds them into
+// the consensus black box (PBFT), and pushes the totally ordered Execute
+// stream into every execution group's commit channel. Implements the
+// paper's global flow control: the agreement window (AG-WIN) advances only
+// with stable agreement checkpoints, and a delivery is considered complete
+// once ne - z commit channels accepted it, so up to z trailing execution
+// groups cannot stall the system (§3.5). Also hosts the execution-replica
+// registry and applies AddGroup / RemoveGroup commands (§3.6).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "consensus/pbft_replica.hpp"
+#include "irmc/irmc.hpp"
+#include "spider/checkpointer.hpp"
+#include "spider/execution_replica.hpp"
+#include "spider/messages.hpp"
+
+namespace spider {
+
+struct AgreementConfig {
+  NodeId self = kInvalidNode;  // explicit id (kInvalidNode = allocate)
+  std::vector<NodeId> members;  // 3fa+1 agreement replicas
+  std::uint32_t my_index = 0;
+  std::uint32_t fa = 1;
+  std::uint32_t fe = 1;                  // fe of execution groups (fr for commit channels)
+  IrmcKind irmc_kind = IrmcKind::ReceiverCollect;
+  std::uint64_t ka = 16;                 // agreement checkpoint interval
+  std::uint64_t ag_win = 64;             // AG-WIN (>= ka)
+  std::uint32_t z = 0;                   // trailing groups that may be skipped
+  Position commit_capacity = 64;
+  Position request_capacity = 2;
+  Duration request_timeout = 2 * kSecond;
+  Duration view_change_timeout = 4 * kSecond;
+  NodeId admin = kInvalidNode;           // only this client may reconfigure
+  std::vector<RegistryEntry> initial_groups;
+  Duration progress_interval = 50 * kMillisecond;
+  Duration collector_timeout = 300 * kMillisecond;
+};
+
+class AgreementReplica : public ComponentHost {
+ public:
+  AgreementReplica(World& world, Site site, AgreementConfig cfg);
+
+  void on_message(NodeId from, BytesView data) override;
+
+  // Introspection ---------------------------------------------------------
+  [[nodiscard]] SeqNr ordered_seq() const { return sn_; }
+  [[nodiscard]] const RegistrySnapshot& registry() const { return registry_; }
+  [[nodiscard]] PbftReplica& consensus() { return *pbft_; }
+  [[nodiscard]] std::size_t group_count() const { return channels_.size(); }
+
+ private:
+  struct Channel {
+    RegistryEntry info;
+    std::unique_ptr<IrmcReceiverEndpoint> request_rx;
+    std::unique_ptr<IrmcSenderEndpoint> commit_tx;
+  };
+  struct HistEntry {
+    SeqNr seq;
+    ExecuteMsg execute;  // canonical (full) version
+  };
+
+  void setup_channel(const RegistryEntry& info, bool backfill);
+  void remove_channel(GroupId g);
+  void start_pull(GroupId g, Subchannel c);
+  void start_pull_again(GroupId g, Subchannel c);
+  bool validate_request(BytesView wire) const;
+
+  void on_deliver(SeqNr s, BytesView request);
+  void process_queue();
+  void handle_ordered(SeqNr s, const Bytes& request);
+  void dispatch_execute(const ExecuteMsg& canonical, bool count_completions);
+  ExecuteMsg derive_for(GroupId g, const ExecuteMsg& canonical) const;
+  void apply_reconfig(const ReconfigCmd& cmd);
+  void maybe_checkpoint();
+  Bytes snapshot_state() const;
+  void on_stable_checkpoint(SeqNr s, BytesView state);
+  void handle_registry_query(NodeId from);
+
+  AgreementConfig cfg_;
+  std::unique_ptr<PbftReplica> pbft_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+  std::map<GroupId, Channel> channels_;
+  RegistrySnapshot registry_;
+
+  SeqNr sn_ = 0;
+  SeqNr win_hi_ = 0;  // upper bound of the agreement window
+  std::map<NodeId, std::uint64_t> t_;       // latest agreed counter per client
+  std::map<NodeId, std::uint64_t> t_plus_;  // next expected counter per client
+  std::deque<HistEntry> hist_;              // last |commit window| Executes
+  std::set<std::pair<GroupId, Subchannel>> pulling_;
+
+  std::deque<std::pair<SeqNr, Bytes>> deliver_queue_;
+  bool processing_ = false;
+};
+
+}  // namespace spider

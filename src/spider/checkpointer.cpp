@@ -1,0 +1,250 @@
+#include "spider/checkpointer.hpp"
+
+#include <algorithm>
+
+namespace spider {
+
+namespace {
+Bytes checkpoint_body(SeqNr s, const Sha256Digest& h) {
+  Writer w;
+  w.u8(1);  // MsgType::Checkpoint
+  w.u64(s);
+  w.raw(BytesView(h.data(), h.size()));
+  return std::move(w).take();
+}
+}  // namespace
+
+Checkpointer::Checkpointer(ComponentHost& host, std::uint32_t tag, std::vector<NodeId> group,
+                           std::uint32_t f, StableFn stable, MemberCheck trusted)
+    : Component(host, tag), group_(std::move(group)), f_(f), stable_(std::move(stable)),
+      trusted_(std::move(trusted)) {
+  if (!trusted_) {
+    trusted_ = [this](NodeId n) {
+      return std::find(group_.begin(), group_.end(), n) != group_.end();
+    };
+  }
+}
+
+Checkpointer::~Checkpointer() {
+  if (fetch_timer_ != EventQueue::kInvalidEvent) cancel_timer(fetch_timer_);
+}
+
+void Checkpointer::add_fetch_peers(const std::vector<NodeId>& peers) {
+  for (NodeId p : peers) {
+    if (p == self()) continue;
+    if (std::find(fetch_peers_.begin(), fetch_peers_.end(), p) == fetch_peers_.end()) {
+      fetch_peers_.push_back(p);
+    }
+  }
+}
+
+void Checkpointer::gen_cp(SeqNr s, Bytes state) {
+  if (s <= last_stable_) return;
+  host().charge_hash(state.size());
+  Sha256Digest h = Sha256::hash(state);
+  own_snapshots_[s] = std::move(state);
+
+  Bytes body = checkpoint_body(s, h);
+  host().charge_sign();
+  Bytes sig = crypto().sign(self(), auth_bytes(body));
+  candidates_[s][digest_prefix(h)].digest = h;
+  candidates_[s][digest_prefix(h)].sigs[self()] = sig;
+
+  Bytes wire = body;
+  wire.insert(wire.end(), sig.begin(), sig.end());
+  for (NodeId n : group_) {
+    if (n != self()) Component::send(n, wire);
+  }
+  check_stable(s);
+}
+
+void Checkpointer::check_stable(SeqNr s) {
+  if (s <= last_stable_) return;
+  auto cit = candidates_.find(s);
+  if (cit == candidates_.end()) return;
+  for (auto& [key, pending] : cit->second) {
+    if (pending.sigs.size() < f_ + 1) continue;
+    // Stable. Do we hold matching state bytes?
+    auto oit = own_snapshots_.find(s);
+    if (oit != own_snapshots_.end() &&
+        digest_prefix(Sha256::hash(oit->second)) == key) {
+      deliver(s, std::move(oit->second));
+      return;
+    }
+    // We lack the snapshot: pull it from a replica that vouched for it.
+    for (const auto& [signer, sig] : pending.sigs) {
+      if (signer == self()) continue;
+      Writer w;
+      w.u8(2);  // Fetch
+      w.u64(s);
+      Component::send(signer, w.data());
+      break;
+    }
+    return;
+  }
+}
+
+Bytes Checkpointer::proof_for(SeqNr s) const {
+  auto it = stable_proofs_.find(s);
+  return it == stable_proofs_.end() ? Bytes{} : it->second;
+}
+
+void Checkpointer::deliver(SeqNr s, Bytes state) {
+  if (s <= last_stable_) return;
+  last_stable_ = s;
+
+  // Assemble and store the f+1-signature proof for peers that fetch later.
+  auto cit = candidates_.find(s);
+  if (cit != candidates_.end()) {
+    host().charge_hash(state.size());
+    std::uint64_t key = digest_prefix(Sha256::hash(state));
+    auto pit = cit->second.find(key);
+    if (pit != cit->second.end()) {
+      Writer w;
+      std::uint32_t count = 0;
+      Writer entries;
+      for (const auto& [signer, sig] : pit->second.sigs) {
+        if (count == f_ + 1) break;
+        entries.u32(signer);
+        entries.bytes(sig);
+        ++count;
+      }
+      w.u32(count);
+      w.raw(entries.data());
+      // Keep only the latest stable state to bound memory.
+      stable_states_.clear();
+      stable_proofs_.clear();
+      stable_states_[s] = state;
+      stable_proofs_[s] = std::move(w).take();
+    }
+  }
+
+  candidates_.erase(candidates_.begin(), candidates_.upper_bound(s));
+  own_snapshots_.erase(own_snapshots_.begin(), own_snapshots_.upper_bound(s));
+  if (fetch_target_ != 0 && fetch_target_ <= s) {
+    fetch_target_ = 0;
+    if (fetch_timer_ != EventQueue::kInvalidEvent) {
+      cancel_timer(fetch_timer_);
+      fetch_timer_ = EventQueue::kInvalidEvent;
+    }
+  }
+  stable_(s, state);
+}
+
+void Checkpointer::fetch_cp(SeqNr s) {
+  if (s <= last_stable_) return;
+  if (fetch_target_ >= s && fetch_timer_ != EventQueue::kInvalidEvent) return;
+  fetch_target_ = std::max(fetch_target_, s);
+  retry_fetch();
+}
+
+void Checkpointer::retry_fetch() {
+  if (fetch_target_ == 0 || fetch_target_ <= last_stable_) return;
+  Writer w;
+  w.u8(2);  // Fetch
+  w.u64(fetch_target_);
+  for (NodeId n : group_) {
+    if (n != self()) Component::send(n, w.data());
+  }
+  for (NodeId n : fetch_peers_) Component::send(n, w.data());
+  fetch_timer_ = set_timer(fetch_retry_, [this] {
+    fetch_timer_ = EventQueue::kInvalidEvent;
+    retry_fetch();
+  });
+}
+
+void Checkpointer::send_state(NodeId to, SeqNr s) {
+  // Reply with our latest stable checkpoint if it satisfies the request.
+  if (stable_states_.empty()) return;
+  auto it = stable_states_.rbegin();
+  if (it->first < s) return;
+  Bytes proof = proof_for(it->first);
+  if (proof.empty()) return;
+  Writer w;
+  w.u8(3);  // State
+  w.u64(it->first);
+  w.bytes(it->second);
+  w.bytes(proof);
+  Component::send(to, std::move(w).take());
+}
+
+void Checkpointer::handle_state(NodeId /*from*/, Reader& r) {
+  SeqNr s = r.u64();
+  Bytes state = r.bytes();
+  BytesView proof = r.bytes_view();
+  if (s <= last_stable_) return;
+
+  host().charge_hash(state.size());
+  Sha256Digest h = Sha256::hash(state);
+  Bytes body = checkpoint_body(s, h);
+  Bytes signed_bytes = auth_bytes(body);
+
+  Reader pr(proof);
+  std::uint32_t count = pr.u32();
+  if (count < f_ + 1) return;
+  std::set<NodeId> seen;
+  std::uint32_t valid = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NodeId signer = pr.u32();
+    BytesView sig = pr.bytes_view();
+    if (seen.count(signer) || !trusted_(signer)) continue;
+    host().charge_verify();
+    if (!crypto().verify(signer, signed_bytes, sig)) continue;
+    seen.insert(signer);
+    ++valid;
+  }
+  if (valid < f_ + 1) return;
+
+  // Record the proof so we can serve it onward, then deliver.
+  candidates_[s][digest_prefix(h)].digest = h;
+  {
+    // Re-store verified signatures for proof forwarding.
+    Reader pr2(proof);
+    std::uint32_t c2 = pr2.u32();
+    for (std::uint32_t i = 0; i < c2; ++i) {
+      NodeId signer = pr2.u32();
+      Bytes sig = pr2.bytes();
+      if (seen.count(signer)) candidates_[s][digest_prefix(h)].sigs[signer] = std::move(sig);
+    }
+  }
+  deliver(s, std::move(state));
+}
+
+void Checkpointer::on_message(NodeId from, Reader& r) {
+  BytesView all = r.raw(r.remaining());
+  if (all.empty()) return;
+  auto type = static_cast<MsgType>(all[0]);
+
+  if (type == MsgType::Checkpoint) {
+    std::size_t sig_len = crypto().signature_size();
+    if (all.size() <= sig_len) return;
+    if (std::find(group_.begin(), group_.end(), from) == group_.end()) return;
+    BytesView body = all.subspan(0, all.size() - sig_len);
+    BytesView sig = all.subspan(all.size() - sig_len);
+    host().charge_verify();
+    if (!crypto().verify(from, auth_bytes(body), sig)) return;
+
+    Reader br(body);
+    br.u8();
+    SeqNr s = br.u64();
+    BytesView hv = br.raw(32);
+    if (s <= last_stable_) return;
+    Sha256Digest h;
+    std::copy(hv.begin(), hv.end(), h.begin());
+    Pending& p = candidates_[s][digest_prefix(h)];
+    p.digest = h;
+    p.sigs[from] = to_bytes(sig);
+    check_stable(s);
+  } else if (type == MsgType::Fetch) {
+    Reader br(all);
+    br.u8();
+    SeqNr s = br.u64();
+    send_state(from, s);
+  } else if (type == MsgType::State) {
+    Reader br(all);
+    br.u8();
+    handle_state(from, br);
+  }
+}
+
+}  // namespace spider

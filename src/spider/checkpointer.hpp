@@ -1,0 +1,79 @@
+// Group checkpoint component (paper Fig. 13 + §3.4).
+//
+// gen_cp(s, state): hash the snapshot, broadcast a signed <Checkpoint, h, s>
+// within the group; once f+1 matching signed messages for the same (h, s)
+// are collected the checkpoint is *stable* (CP-Safety: at least one correct
+// replica created it) and stable_cp fires. A replica that lacks the
+// snapshot bytes fetches them (with the f+1-signature proof attached) from
+// a peer — including peers in *other* execution groups, which is how
+// trailing groups catch up under global flow control (§3.5).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "crypto/sha256.hpp"
+#include "sim/component.hpp"
+
+namespace spider {
+
+class Checkpointer : public Component {
+ public:
+  using StableFn = std::function<void(SeqNr s, BytesView state)>;
+  /// Resolves a node id -> may it sign checkpoints we trust? Used to verify
+  /// proofs from peers of other groups (membership comes from the registry).
+  using MemberCheck = std::function<bool(NodeId)>;
+
+  Checkpointer(ComponentHost& host, std::uint32_t tag, std::vector<NodeId> group,
+               std::uint32_t f, StableFn stable, MemberCheck trusted = {});
+  ~Checkpointer() override;
+
+  /// Creates and distributes this replica's checkpoint for sequence number s.
+  void gen_cp(SeqNr s, Bytes state);
+
+  /// Actively fetches a checkpoint with sequence number >= s from the group
+  /// (and any extra peers registered with add_fetch_peers). Retries until a
+  /// newer checkpoint is delivered.
+  void fetch_cp(SeqNr s);
+
+  /// Additional peers (e.g. members of other execution groups) queried by
+  /// fetch_cp.
+  void add_fetch_peers(const std::vector<NodeId>& peers);
+
+  void on_message(NodeId from, Reader& r) override;
+
+  [[nodiscard]] SeqNr last_stable() const { return last_stable_; }
+
+ private:
+  enum class MsgType : std::uint8_t { Checkpoint = 1, Fetch = 2, State = 3 };
+
+  struct Pending {
+    Sha256Digest digest{};
+    std::map<NodeId, Bytes> sigs;  // signer -> signature
+  };
+
+  void check_stable(SeqNr s);
+  void deliver(SeqNr s, Bytes state);
+  Bytes proof_for(SeqNr s) const;
+  void send_state(NodeId to, SeqNr s);
+  void handle_state(NodeId from, Reader& r);
+  void retry_fetch();
+
+  std::vector<NodeId> group_;
+  std::uint32_t f_;
+  StableFn stable_;
+  MemberCheck trusted_;
+
+  SeqNr last_stable_ = 0;
+  // Candidate checkpoints: s -> digest -> signature set.
+  std::map<SeqNr, std::map<std::uint64_t, Pending>> candidates_;
+  std::map<SeqNr, Bytes> own_snapshots_;       // states this replica produced
+  std::map<SeqNr, Bytes> stable_states_;       // stable states (for peers)
+  std::map<SeqNr, Bytes> stable_proofs_;       // serialized f+1 sig proofs
+  std::vector<NodeId> fetch_peers_;
+  SeqNr fetch_target_ = 0;
+  EventQueue::EventId fetch_timer_ = EventQueue::kInvalidEvent;
+  Duration fetch_retry_ = 400 * kMillisecond;
+};
+
+}  // namespace spider

@@ -1,0 +1,198 @@
+#include "spider/client.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+
+namespace spider {
+
+namespace {
+Bytes tagged(std::uint32_t tag, BytesView inner) {
+  Writer w;
+  w.u32(tag);
+  w.raw(inner);
+  return std::move(w).take();
+}
+
+/// Returns the result that at least `quorum` replicas agree on, if any.
+const Bytes* matching_quorum(const std::map<NodeId, Bytes>& replies, std::uint32_t quorum) {
+  for (const auto& [node, result] : replies) {
+    std::uint32_t count = 0;
+    for (const auto& [node2, result2] : replies) {
+      if (result2 == result) ++count;
+    }
+    if (count >= quorum) return &result;
+  }
+  return nullptr;
+}
+}  // namespace
+
+SpiderClient::SpiderClient(World& world, Site site, ClientGroupInfo group, Duration retry)
+    : ComponentHost(world, world.allocate_id(), site), group_(std::move(group)), retry_(retry) {}
+
+void SpiderClient::switch_group(ClientGroupInfo group) {
+  group_ = std::move(group);
+  if (in_flight_) {
+    replies_.clear();
+    transmit_current();
+  }
+  if (weak_in_flight_) {
+    weak_replies_.clear();
+    transmit_weak();
+  }
+}
+
+void SpiderClient::submit_ordered(OpKind kind, Bytes op, OpCallback cb) {
+  queue_.push_back(OrderedOp{kind, std::move(op), std::move(cb)});
+  if (!in_flight_) start_next();
+}
+
+void SpiderClient::start_next() {
+  if (queue_.empty()) return;
+  in_flight_ = true;
+  ++tc_;
+  OrderedOp& cur = queue_.front();
+
+  ClientRequest req{cur.kind, id(), tc_, cur.op};
+  Bytes body = req.encode();
+  charge_sign();
+  Bytes sig = crypto().sign(id(), tagged(tags::kClient, body));
+  current_wire_ = ClientFrame{std::move(req), std::move(sig)}.encode();
+  replies_.clear();
+  current_start_ = now();
+  transmit_current();
+
+  if (retry_timer_ != EventQueue::kInvalidEvent) cancel_timer(retry_timer_);
+  arm_retry();
+}
+
+void SpiderClient::arm_retry() {
+  // Keep resending the in-flight request until fe+1 matching replies arrive
+  // (paper Fig. 15, L. 11-13).
+  retry_timer_ = set_timer(retry_, [this] {
+    retry_timer_ = EventQueue::kInvalidEvent;
+    if (!in_flight_) return;
+    ++retries_;
+    transmit_current();
+    arm_retry();
+  });
+}
+
+void SpiderClient::transmit_current() {
+  for (NodeId replica : group_.members) {
+    charge_mac();
+    Bytes mac = crypto().mac(id(), replica, tagged(tags::kClient, current_wire_));
+    Bytes wire = current_wire_;
+    wire.insert(wire.end(), mac.begin(), mac.end());
+    send_to(replica, tagged(tags::kClient, wire));
+  }
+}
+
+void SpiderClient::weak_read(Bytes op, OpCallback cb) {
+  submit_direct(OpKind::WeakRead, std::move(op), std::move(cb));
+}
+
+void SpiderClient::submit_direct(OpKind kind, Bytes op, OpCallback cb) {
+  weak_queue_.push_back(WeakOp{std::move(op), std::move(cb), kind});
+  if (!weak_in_flight_) start_weak();
+}
+
+void SpiderClient::start_weak() {
+  if (weak_queue_.empty()) return;
+  weak_in_flight_ = true;
+  ++weak_counter_;
+  weak_replies_.clear();
+  weak_start_ = now();
+  transmit_weak();
+  arm_weak_retry();
+}
+
+void SpiderClient::arm_weak_retry() {
+  weak_retry_timer_ = set_timer(retry_, [this] {
+    weak_retry_timer_ = EventQueue::kInvalidEvent;
+    if (weak_in_flight_) {
+      ++retries_;
+      transmit_weak();
+      arm_weak_retry();
+    }
+  });
+}
+
+void SpiderClient::transmit_weak() {
+  ClientRequest req{weak_queue_.front().kind, id(), weak_counter_, weak_queue_.front().op};
+  Bytes frame = ClientFrame{std::move(req), {}}.encode();
+  for (NodeId replica : group_.members) {
+    charge_mac();
+    Bytes mac = crypto().mac(id(), replica, tagged(tags::kClient, frame));
+    Bytes wire = frame;
+    wire.insert(wire.end(), mac.begin(), mac.end());
+    send_to(replica, tagged(tags::kClient, wire));
+  }
+}
+
+void SpiderClient::on_message(NodeId from, BytesView data) {
+  try {
+    Reader r(data);
+    if (r.u32() != tags::kClient) return;
+    handle_reply(from, r);
+  } catch (const SerdeError&) {
+    // malformed reply: drop
+  }
+}
+
+void SpiderClient::handle_reply(NodeId from, Reader& r) {
+  // Replies only count from members of the current group.
+  if (std::find(group_.members.begin(), group_.members.end(), from) == group_.members.end()) return;
+
+  BytesView all = r.raw(r.remaining());
+  std::size_t mac_len = crypto().mac_size();
+  if (all.size() <= mac_len) return;
+  BytesView body = all.subspan(0, all.size() - mac_len);
+  BytesView mac = all.subspan(all.size() - mac_len);
+  charge_mac();
+  if (!crypto().verify_mac(from, id(), tagged(tags::kClient, body), mac)) return;
+
+  Reader br(body);
+  ReplyMsg reply = ReplyMsg::decode(br);
+
+  if (reply.weak) {
+    if (!weak_in_flight_ || reply.counter != weak_counter_) return;
+    weak_replies_[from] = reply.result;
+    std::uint32_t quorum = group_.fe + 1;
+    if (weak_queue_.front().kind == OpKind::StrongRead) {
+      quorum = group_.strong_quorum != 0 ? group_.strong_quorum : group_.fe + 1;
+    }
+    if (const Bytes* result = matching_quorum(weak_replies_, quorum)) {
+      Bytes out = *result;
+      WeakOp op = std::move(weak_queue_.front());
+      weak_queue_.pop_front();
+      weak_in_flight_ = false;
+      if (weak_retry_timer_ != EventQueue::kInvalidEvent) {
+        cancel_timer(weak_retry_timer_);
+        weak_retry_timer_ = EventQueue::kInvalidEvent;
+      }
+      Duration latency = now() - weak_start_;
+      op.cb(std::move(out), latency);
+      start_weak();  // next queued weak read, if any
+    }
+    return;
+  }
+
+  if (!in_flight_ || reply.counter != tc_) return;
+  replies_[from] = reply.result;
+  if (const Bytes* result = matching_quorum(replies_, group_.fe + 1)) {
+    Bytes out = *result;
+    OrderedOp op = std::move(queue_.front());
+    queue_.pop_front();
+    in_flight_ = false;
+    if (retry_timer_ != EventQueue::kInvalidEvent) {
+      cancel_timer(retry_timer_);
+      retry_timer_ = EventQueue::kInvalidEvent;
+    }
+    Duration latency = now() - current_start_;
+    op.cb(std::move(out), latency);
+    start_next();
+  }
+}
+
+}  // namespace spider

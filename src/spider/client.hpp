@@ -1,0 +1,107 @@
+// Spider client (paper Fig. 15).
+//
+// Writes and strongly consistent reads are signed, sent to every replica of
+// the client's execution group, and accepted after fe+1 matching replies.
+// Weakly consistent reads take the fast path: MAC-only requests answered
+// directly by the local execution group (fe+1 matching results).
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "sim/component.hpp"
+#include "spider/messages.hpp"
+
+namespace spider {
+
+struct ClientGroupInfo {
+  GroupId group = 0;
+  std::vector<NodeId> members;  // 2fe+1 execution replicas
+  std::uint32_t fe = 1;
+  /// Flat-BFT optimized reads (paper §5, Fig. 8a): strongly consistent
+  /// reads query replicas directly and require `strong_quorum` matching
+  /// replies instead of passing through the ordering protocol.
+  bool direct_strong_reads = false;
+  std::uint32_t strong_quorum = 0;  // 0 => fe+1
+};
+
+class SpiderClient : public ComponentHost {
+ public:
+  /// cb(result bytes, response time).
+  using OpCallback = std::function<void(Bytes result, Duration latency)>;
+
+  SpiderClient(World& world, Site site, ClientGroupInfo group,
+               Duration retry = 2 * kSecond);
+
+  /// Issues an operation; ordered ops (writes / strong reads) are queued
+  /// one-outstanding-at-a-time as in the paper's client.
+  void write(Bytes op, OpCallback cb) { submit_ordered(OpKind::Write, std::move(op), std::move(cb)); }
+  void strong_read(Bytes op, OpCallback cb) {
+    if (group_.direct_strong_reads) {
+      submit_direct(OpKind::StrongRead, std::move(op), std::move(cb));
+    } else {
+      submit_ordered(OpKind::StrongRead, std::move(op), std::move(cb));
+    }
+  }
+  void weak_read(Bytes op, OpCallback cb);
+
+  /// Submits an admin reconfiguration command through the write path.
+  void reconfig(const ReconfigCmd& cmd, OpCallback cb) {
+    submit_ordered(OpKind::Reconfig, cmd.encode(), std::move(cb));
+  }
+
+  /// Switches to a different execution group (e.g. after its region failed
+  /// or a closer group appeared). In-flight ordered ops are re-sent there.
+  void switch_group(ClientGroupInfo group);
+
+  void on_message(NodeId from, BytesView data) override;
+
+  [[nodiscard]] const ClientGroupInfo& group() const { return group_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+
+ private:
+  struct OrderedOp {
+    OpKind kind;
+    Bytes op;
+    OpCallback cb;
+  };
+
+  void submit_ordered(OpKind kind, Bytes op, OpCallback cb);
+  void start_next();
+  void arm_retry();
+  void transmit_current();
+  void start_weak();
+  void arm_weak_retry();
+  void transmit_weak();
+  void handle_reply(NodeId from, Reader& r);
+
+  ClientGroupInfo group_;
+  Duration retry_;
+  std::uint64_t tc_ = 0;  // counter of the *current/last* ordered request
+
+  // Ordered-op state.
+  std::deque<OrderedOp> queue_;
+  bool in_flight_ = false;
+  Bytes current_wire_;  // signed frame of the in-flight request
+  Time current_start_ = 0;
+  std::map<NodeId, Bytes> replies_;  // replica -> result (for current tc)
+  EventQueue::EventId retry_timer_ = EventQueue::kInvalidEvent;
+  std::uint64_t retries_ = 0;
+
+  // Direct-read state (weak reads, and BFT-style optimized strong reads):
+  // one outstanding direct op at a time.
+  struct WeakOp {
+    Bytes op;
+    OpCallback cb;
+    OpKind kind = OpKind::WeakRead;
+  };
+  void submit_direct(OpKind kind, Bytes op, OpCallback cb);
+  std::deque<WeakOp> weak_queue_;
+  bool weak_in_flight_ = false;
+  std::uint64_t weak_counter_ = 0;
+  Time weak_start_ = 0;
+  std::map<NodeId, Bytes> weak_replies_;
+  EventQueue::EventId weak_retry_timer_ = EventQueue::kInvalidEvent;
+};
+
+}  // namespace spider

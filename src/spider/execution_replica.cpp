@@ -1,0 +1,261 @@
+#include "spider/execution_replica.hpp"
+
+#include <set>
+
+#include "sim/world.hpp"
+
+namespace spider {
+
+namespace {
+Bytes tagged(std::uint32_t tag, BytesView inner) {
+  Writer w;
+  w.u32(tag);
+  w.raw(inner);
+  return std::move(w).take();
+}
+
+// Modeled CPU cost of executing one application operation.
+constexpr Duration kExecCost = 8;
+}  // namespace
+
+ExecutionReplica::ExecutionReplica(World& world, Site site, ExecutionConfig cfg,
+                                   std::unique_ptr<Application> app)
+    : ComponentHost(world, cfg.self == kInvalidNode ? world.allocate_id() : cfg.self, site),
+      cfg_(std::move(cfg)), app_(std::move(app)) {
+  IrmcConfig req_cfg;
+  req_cfg.senders = cfg_.members;
+  req_cfg.receivers = cfg_.agreement;
+  req_cfg.fs = cfg_.fe;
+  req_cfg.fr = cfg_.fa;
+  req_cfg.capacity = cfg_.request_capacity;
+  req_cfg.channel_tag = request_channel_tag(cfg_.group);
+  req_cfg.progress_interval = cfg_.progress_interval;
+  req_cfg.collector_timeout = cfg_.collector_timeout;
+  request_tx_ = make_irmc_sender(cfg_.irmc_kind, *this, req_cfg);
+
+  IrmcConfig com_cfg;
+  com_cfg.senders = cfg_.agreement;
+  com_cfg.receivers = cfg_.members;
+  com_cfg.fs = cfg_.fa;
+  com_cfg.fr = cfg_.fe;
+  com_cfg.capacity = cfg_.commit_capacity;
+  com_cfg.channel_tag = commit_channel_tag(cfg_.group);
+  com_cfg.progress_interval = cfg_.progress_interval;
+  com_cfg.collector_timeout = cfg_.collector_timeout;
+  commit_rx_ = make_irmc_receiver(cfg_.irmc_kind, *this, com_cfg);
+
+  auto trusted = std::make_shared<std::set<NodeId>>(cfg_.members.begin(), cfg_.members.end());
+  trusted_peers_ = trusted;
+  checkpointer_ = std::make_unique<Checkpointer>(
+      *this, tags::kCheckpoint, cfg_.members, cfg_.fe,
+      [this](SeqNr s, BytesView state) { on_stable_checkpoint(s, state); },
+      [trusted](NodeId n) { return trusted->count(n) > 0; });
+
+  request_next_execute();
+}
+
+void ExecutionReplica::add_checkpoint_peers(const std::vector<NodeId>& peers) {
+  checkpointer_->add_fetch_peers(peers);
+  for (NodeId p : peers) trusted_peers_->insert(p);
+}
+
+void ExecutionReplica::on_message(NodeId from, BytesView data) {
+  try {
+    Reader r(data);
+    std::uint32_t tag = r.u32();
+    if (tag == tags::kClient) {
+      handle_client(from, r);
+      return;
+    }
+  } catch (const SerdeError&) {
+    return;
+  }
+  ComponentHost::on_message(from, data);
+}
+
+void ExecutionReplica::handle_client(NodeId from, Reader& r) {
+  BytesView all = r.raw(r.remaining());
+  std::size_t mac_len = crypto().mac_size();
+  if (all.size() <= mac_len) return;
+  BytesView body = all.subspan(0, all.size() - mac_len);
+  BytesView mac = all.subspan(all.size() - mac_len);
+  charge_mac();
+  if (!crypto().verify_mac(from, id(), tagged(tags::kClient, body), mac)) return;
+
+  Reader br(body);
+  ClientFrame frame = ClientFrame::decode(br);
+  const ClientRequest& req = frame.req;
+  if (req.client != from) return;  // claimed identity must match the channel
+
+  if (req.kind == OpKind::WeakRead) {
+    // Fast path: answer from local state, no ordering (paper §3.3).
+    charge(kExecCost);
+    Bytes result = app_->execute_readonly(req.op);
+    reply_to(from, req.counter, result, /*weak=*/true);
+    return;
+  }
+
+  std::uint64_t& last = t_[req.client];
+  if (req.counter <= last) {
+    // Retry of an old request: serve the cached reply if we have it.
+    auto uit = replies_.find(req.client);
+    if (uit != replies_.end() && uit->second.counter == req.counter &&
+        !uit->second.placeholder) {
+      reply_to(from, req.counter, uit->second.result, /*weak=*/false);
+    }
+    return;
+  }
+
+  charge_verify();
+  if (!crypto().verify(req.client, tagged(tags::kClient, req.encode()), frame.signature)) return;
+
+  last = req.counter;
+  if (drop_forwarding) return;  // Byzantine: silently refuse to forward
+  request_tx_->move_window(req.client, req.counter);
+  request_tx_->send(req.client, req.counter,
+                    RequestMsg{std::move(frame), cfg_.group}.encode(), {});
+}
+
+void ExecutionReplica::request_next_execute() {
+  commit_rx_->receive(0, sn_ + 1, [this](RecvResult res) {
+    if (!res.too_old) {
+      try {
+        Reader r(res.message);
+        ExecuteMsg x = ExecuteMsg::decode(r);
+        process_execute(x);
+      } catch (const SerdeError&) {
+        // Channel contents are vouched for by fa+1 agreement replicas;
+        // malformed content would indicate a local bug. Skip defensively.
+        ++sn_;
+      }
+      request_next_execute();
+      return;
+    }
+    if (sn_ + 1 >= res.window_start) {
+      // Already caught up (e.g. a checkpoint applied before this fired).
+      request_next_execute();
+      return;
+    }
+    // We missed garbage-collected Executes: fetch an execution checkpoint
+    // from our group or any other group (paper §3.4/3.5).
+    waiting_checkpoint_ = true;
+    checkpointer_->fetch_cp(res.window_start - 1);
+  });
+}
+
+void ExecutionReplica::process_execute(const ExecuteMsg& x) {
+  sn_ += 1;
+
+  switch (x.kind) {
+    case ExecuteKind::Full: {
+      ReplyCacheEntry& e = replies_[x.client];
+      if (e.counter >= x.counter) {
+        // Duplicate/old: resend cached reply if this is our client.
+        if (x.origin == cfg_.group && e.counter == x.counter && !e.placeholder) {
+          reply_to(x.client, x.counter, e.result, false);
+        }
+        break;
+      }
+      charge(kExecCost);
+      Bytes result = x.op_kind == OpKind::StrongRead ? app_->execute_readonly(x.op)
+                                                     : app_->execute(x.op);
+      e.counter = x.counter;
+      e.result = std::move(result);
+      e.placeholder = false;
+      if (x.origin == cfg_.group) reply_to(x.client, x.counter, e.result, false);
+      break;
+    }
+    case ExecuteKind::Placeholder: {
+      ReplyCacheEntry& e = replies_[x.client];
+      if (x.counter > e.counter) {
+        e.counter = x.counter;
+        e.result.clear();
+        e.placeholder = true;
+      }
+      break;
+    }
+    case ExecuteKind::Reconfig: {
+      ReplyCacheEntry& e = replies_[x.client];
+      if (x.counter > e.counter) {
+        e.counter = x.counter;
+        e.result = to_bytes(std::string("reconfig-ok"));
+        e.placeholder = false;
+        if (x.origin == cfg_.group) reply_to(x.client, x.counter, e.result, false);
+      }
+      break;
+    }
+    case ExecuteKind::Noop:
+      break;
+  }
+
+  maybe_checkpoint();
+}
+
+void ExecutionReplica::reply_to(NodeId client, std::uint64_t counter, BytesView result,
+                                bool weak) {
+  Bytes out = to_bytes(result);
+  if (corrupt_replies) {
+    out.push_back(0xbd);  // Byzantine corruption, outvoted by correct replicas
+  }
+  ReplyMsg reply{counter, std::move(out), weak};
+  Bytes body = reply.encode();
+  charge_mac();
+  Bytes mac = crypto().mac(id(), client, tagged(tags::kClient, body));
+  Bytes wire = std::move(body);
+  wire.insert(wire.end(), mac.begin(), mac.end());
+  send_to(client, tagged(tags::kClient, wire));
+}
+
+void ExecutionReplica::maybe_checkpoint() {
+  if (sn_ == 0 || sn_ % cfg_.ke != 0) return;
+  ++checkpoints_;
+  checkpointer_->gen_cp(sn_, snapshot_state());
+}
+
+Bytes ExecutionReplica::snapshot_state() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(replies_.size()));
+  for (const auto& [client, e] : replies_) {
+    w.u32(client);
+    w.u64(e.counter);
+    w.boolean(e.placeholder);
+    w.bytes(e.result);
+  }
+  w.bytes(app_->snapshot());
+  return std::move(w).take();
+}
+
+void ExecutionReplica::apply_state(SeqNr s, BytesView state) {
+  Reader r(state);
+  std::uint32_t n = r.u32();
+  std::map<NodeId, ReplyCacheEntry> replies;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    NodeId client = r.u32();
+    ReplyCacheEntry e;
+    e.counter = r.u64();
+    e.placeholder = r.boolean();
+    e.result = r.bytes();
+    replies[client] = std::move(e);
+  }
+  app_->restore(r.bytes_view());
+  replies_ = std::move(replies);
+  sn_ = s;
+  ++catchups_;
+}
+
+void ExecutionReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
+  commit_rx_->move_window(0, s + 1);  // allow garbage collection (L. 42-44)
+  if (s > sn_) {
+    try {
+      apply_state(s, state);
+    } catch (const SerdeError&) {
+      return;  // defensive; see process_execute
+    }
+  }
+  if (waiting_checkpoint_) {
+    waiting_checkpoint_ = false;
+    request_next_execute();
+  }
+}
+
+}  // namespace spider

@@ -1,0 +1,96 @@
+// Spider execution replica (paper Fig. 16).
+//
+// Hosts the application, answers clients, forwards new requests into the
+// request channel (per-client subchannels) and consumes the totally ordered
+// Execute stream from the commit channel. Periodic execution checkpoints
+// (app snapshot + reply cache) let trailing replicas — and newly added
+// groups — catch up without replaying every request.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "app/application.hpp"
+#include "irmc/irmc.hpp"
+#include "sim/component.hpp"
+#include "spider/checkpointer.hpp"
+#include "spider/messages.hpp"
+
+namespace spider {
+
+/// Channel tag scheme: one request + one commit channel per execution group.
+constexpr std::uint32_t request_channel_tag(GroupId e) { return tags::kIrmc | (e << 1); }
+constexpr std::uint32_t commit_channel_tag(GroupId e) { return tags::kIrmc | (e << 1) | 1; }
+
+struct ExecutionConfig {
+  NodeId self = kInvalidNode;  // explicit id (kInvalidNode = allocate)
+  GroupId group = 1;
+  std::vector<NodeId> members;          // 2fe+1 including this replica
+  std::vector<NodeId> agreement;        // 3fa+1 agreement replicas
+  std::uint32_t fe = 1;
+  std::uint32_t fa = 1;
+  IrmcKind irmc_kind = IrmcKind::ReceiverCollect;
+  std::uint64_t ke = 16;                // execution checkpoint interval
+  Position commit_capacity = 64;        // >= ke for liveness (paper §3.4)
+  Position request_capacity = 2;        // per-client subchannel (Fig. 16, L. 6)
+  Duration progress_interval = 50 * kMillisecond;
+  Duration collector_timeout = 300 * kMillisecond;
+};
+
+class ExecutionReplica : public ComponentHost {
+ public:
+  ExecutionReplica(World& world, Site site, ExecutionConfig cfg,
+                   std::unique_ptr<Application> app);
+
+  void on_message(NodeId from, BytesView data) override;
+
+  /// Peers in other execution groups usable for cross-group checkpoint
+  /// fetch (paper §3.5); normally populated from the registry.
+  void add_checkpoint_peers(const std::vector<NodeId>& peers);
+
+  // Introspection ---------------------------------------------------------
+  [[nodiscard]] SeqNr executed_seq() const { return sn_; }
+  [[nodiscard]] GroupId group() const { return cfg_.group; }
+  [[nodiscard]] const Application& app() const { return *app_; }
+  [[nodiscard]] std::uint64_t checkpoints_taken() const { return checkpoints_; }
+  [[nodiscard]] std::uint64_t catchups() const { return catchups_; }
+
+  /// Test hook: Byzantine replica that answers clients with corrupted
+  /// results (must be outvoted by fe+1 correct replies).
+  bool corrupt_replies = false;
+  /// Test hook: Byzantine replica that stays silent toward the agreement
+  /// group (drops request forwarding).
+  bool drop_forwarding = false;
+
+ private:
+  void handle_client(NodeId from, Reader& r);
+  void request_next_execute();
+  void process_execute(const ExecuteMsg& x);
+  void reply_to(NodeId client, std::uint64_t counter, BytesView result, bool weak);
+  void maybe_checkpoint();
+  Bytes snapshot_state() const;
+  void apply_state(SeqNr s, BytesView state);
+  void on_stable_checkpoint(SeqNr s, BytesView state);
+
+  ExecutionConfig cfg_;
+  std::unique_ptr<Application> app_;
+  std::unique_ptr<IrmcSenderEndpoint> request_tx_;
+  std::unique_ptr<IrmcReceiverEndpoint> commit_rx_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+
+  SeqNr sn_ = 0;
+  struct ReplyCacheEntry {
+    std::uint64_t counter = 0;
+    Bytes result;
+    bool placeholder = false;  // strong read executed by another group
+  };
+  std::map<NodeId, std::uint64_t> t_;            // latest forwarded counter per client
+  std::map<NodeId, ReplyCacheEntry> replies_;    // reply cache u[c]
+  std::shared_ptr<std::set<NodeId>> trusted_peers_;  // other groups' members
+  bool waiting_checkpoint_ = false;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t catchups_ = 0;
+};
+
+}  // namespace spider

@@ -1,0 +1,213 @@
+#include "spider/system.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+
+namespace spider {
+
+int az_count(Region r) {
+  switch (r) {
+    case Region::Virginia: return 6;  // paper: agreement leader in V-1..V-6
+    case Region::Oregon:
+    case Region::Tokyo:
+    case Region::Seoul: return 4;
+    default: return 3;
+  }
+}
+
+Region nearby_region(Region r) {
+  switch (r) {
+    case Region::Virginia: return Region::Ohio;
+    case Region::Oregon: return Region::California;
+    case Region::Ireland: return Region::London;
+    case Region::Tokyo: return Region::Seoul;
+    case Region::Ohio: return Region::Virginia;
+    case Region::California: return Region::Oregon;
+    case Region::London: return Region::Ireland;
+    case Region::Seoul: return Region::Tokyo;
+    case Region::SaoPaulo: return Region::SaoPaulo;
+  }
+  return r;
+}
+
+std::vector<Site> geo_replica_sites(Region home, std::size_t n) {
+  // Fill distinct AZs of the home region first (at most four, so larger
+  // groups genuinely span the nearby region and intra-group quorums cross
+  // a short WAN hop), then distinct AZs of the nearby region (paper §5:
+  // f=2 uses Ohio/California/London/Seoul as additional fault domains).
+  std::vector<Site> sites;
+  int home_azs = std::min(az_count(home), 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<int>(i) < home_azs) {
+      sites.push_back(Site{home, static_cast<std::uint8_t>(i)});
+    } else {
+      Region nb = nearby_region(home);
+      int idx = static_cast<int>(i) - home_azs;
+      sites.push_back(Site{nb, static_cast<std::uint8_t>(idx % az_count(nb))});
+    }
+  }
+  return sites;
+}
+
+std::vector<Site> SpiderSystem::replica_sites(Region home, std::size_t n) const {
+  return geo_replica_sites(home, n);
+}
+
+SpiderSystem::SpiderSystem(World& world, SpiderTopology topology)
+    : world_(world), topo_(std::move(topology)) {
+  // The admin client is constructed first so its id is known to the
+  // agreement group's request validator.
+  admin_ = std::make_unique<SpiderClient>(world_, Site{topo_.agreement_region, 0},
+                                          ClientGroupInfo{}, topo_.client_retry);
+
+  // Reserve ids: agreement replicas, then one block per execution group.
+  std::vector<NodeId> agreement_ids;
+  const std::size_t na = 3 * topo_.fa + 1;
+  for (std::size_t i = 0; i < na; ++i) agreement_ids.push_back(world_.allocate_id());
+
+  std::vector<RegistryEntry> initial;
+  std::map<GroupId, std::vector<NodeId>> group_ids;
+  for (Region r : topo_.exec_regions) {
+    GroupId g = next_group_id_++;
+    std::vector<NodeId> ids;
+    for (std::size_t i = 0; i < 2 * topo_.fe + 1u; ++i) ids.push_back(world_.allocate_id());
+    initial.push_back(RegistryEntry{g, r, ids});
+    group_ids[g] = std::move(ids);
+    group_regions_[g] = r;
+  }
+
+  // Agreement group.
+  std::vector<Site> ag_sites = replica_sites(topo_.agreement_region, na);
+  if (topo_.agreement_az_rotation != 0) {
+    std::rotate(ag_sites.begin(),
+                ag_sites.begin() + topo_.agreement_az_rotation % ag_sites.size(),
+                ag_sites.end());
+  }
+  for (std::size_t i = 0; i < na; ++i) {
+    AgreementConfig cfg;
+    cfg.self = agreement_ids[i];
+    cfg.members = agreement_ids;
+    cfg.my_index = static_cast<std::uint32_t>(i);
+    cfg.fa = topo_.fa;
+    cfg.fe = topo_.fe;
+    cfg.irmc_kind = topo_.irmc_kind;
+    cfg.ka = topo_.ka;
+    cfg.ag_win = topo_.ag_win;
+    cfg.z = topo_.z;
+    cfg.commit_capacity = topo_.commit_capacity;
+    cfg.request_capacity = topo_.request_capacity;
+    cfg.request_timeout = topo_.request_timeout;
+    cfg.view_change_timeout = topo_.view_change_timeout;
+    cfg.admin = admin_->id();
+    cfg.initial_groups = initial;
+    agreement_.push_back(std::make_unique<AgreementReplica>(world_, ag_sites[i], cfg));
+  }
+
+  // Execution groups.
+  for (const RegistryEntry& entry : initial) {
+    groups_[entry.group] = build_group(entry.group, entry.region, entry.members);
+  }
+  wire_checkpoint_peers();
+
+  admin_->switch_group(group_info(group_ids.begin()->first));
+}
+
+std::vector<std::unique_ptr<ExecutionReplica>> SpiderSystem::build_group(
+    GroupId g, Region region, const std::vector<NodeId>& ids) {
+  std::vector<std::unique_ptr<ExecutionReplica>> replicas;
+  std::vector<Site> sites = replica_sites(region, ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ExecutionConfig cfg;
+    cfg.self = ids[i];
+    cfg.group = g;
+    cfg.members = ids;
+    cfg.agreement = agreement_ids();
+    cfg.fe = topo_.fe;
+    cfg.fa = topo_.fa;
+    cfg.irmc_kind = topo_.irmc_kind;
+    cfg.ke = topo_.ke;
+    cfg.commit_capacity = topo_.commit_capacity;
+    cfg.request_capacity = topo_.request_capacity;
+    replicas.push_back(
+        std::make_unique<ExecutionReplica>(world_, sites[i], cfg, topo_.make_app()));
+  }
+  return replicas;
+}
+
+void SpiderSystem::wire_checkpoint_peers() {
+  for (auto& [g1, reps1] : groups_) {
+    std::vector<NodeId> others;
+    for (auto& [g2, reps2] : groups_) {
+      if (g1 == g2) continue;
+      for (auto& r : reps2) others.push_back(r->id());
+    }
+    for (auto& r : reps1) r->add_checkpoint_peers(others);
+  }
+}
+
+std::vector<NodeId> SpiderSystem::agreement_ids() const {
+  std::vector<NodeId> ids;
+  for (const auto& a : agreement_) ids.push_back(a->id());
+  return ids;
+}
+
+std::vector<GroupId> SpiderSystem::group_ids() const {
+  std::vector<GroupId> ids;
+  for (const auto& [g, _] : groups_) ids.push_back(g);
+  return ids;
+}
+
+ClientGroupInfo SpiderSystem::group_info(GroupId g) const {
+  ClientGroupInfo info;
+  info.group = g;
+  info.fe = topo_.fe;
+  for (const auto& r : groups_.at(g)) info.members.push_back(r->id());
+  return info;
+}
+
+GroupId SpiderSystem::nearest_group(Region r) const {
+  GroupId best = group_regions_.begin()->first;
+  Duration best_rtt = region_rtt(r, group_regions_.begin()->second);
+  for (const auto& [g, reg] : group_regions_) {
+    Duration rtt = region_rtt(r, reg);
+    if (rtt < best_rtt) {
+      best = g;
+      best_rtt = rtt;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<SpiderClient> SpiderSystem::make_client(Site site) {
+  return std::make_unique<SpiderClient>(world_, site, group_info(nearest_group(site.region)),
+                                        topo_.client_retry);
+}
+
+SpiderClient& SpiderSystem::admin() { return *admin_; }
+
+GroupId SpiderSystem::add_group(Region region, std::function<void()> done) {
+  GroupId g = next_group_id_++;
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < 2 * topo_.fe + 1u; ++i) ids.push_back(world_.allocate_id());
+  groups_[g] = build_group(g, region, ids);
+  group_regions_[g] = region;
+  wire_checkpoint_peers();
+
+  ReconfigCmd cmd{true, g, region, ids};
+  admin_->reconfig(cmd, [done = std::move(done)](Bytes, Duration) {
+    if (done) done();
+  });
+  return g;
+}
+
+void SpiderSystem::remove_group(GroupId g, std::function<void()> done) {
+  ReconfigCmd cmd{false, g, group_region(g), {}};
+  admin_->reconfig(cmd, [this, g, done = std::move(done)](Bytes, Duration) {
+    groups_.erase(g);
+    group_regions_.erase(g);
+    if (done) done();
+  });
+}
+
+}  // namespace spider

@@ -1,0 +1,103 @@
+// Deployment builder: assembles a complete Spider system inside a World —
+// one agreement group (3fa+1 replicas across availability zones) plus one
+// execution group (2fe+1 replicas) per requested region — and offers
+// helpers for clients and runtime reconfiguration.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "app/kvstore.hpp"
+#include "spider/agreement_replica.hpp"
+#include "spider/client.hpp"
+#include "spider/execution_replica.hpp"
+
+namespace spider {
+
+struct SpiderTopology {
+  std::uint32_t fa = 1;
+  std::uint32_t fe = 1;
+  Region agreement_region = Region::Virginia;
+  std::vector<Region> exec_regions = {Region::Virginia, Region::Oregon, Region::Ireland,
+                                      Region::Tokyo};
+  IrmcKind irmc_kind = IrmcKind::ReceiverCollect;
+
+  std::uint64_t ka = 16;   // agreement checkpoint interval
+  std::uint64_t ke = 16;   // execution checkpoint interval
+  std::uint64_t ag_win = 64;
+  Position commit_capacity = 64;
+  Position request_capacity = 2;
+  std::uint32_t z = 0;     // trailing groups that may be skipped
+  /// Rotates the agreement replicas' AZ assignment so the view-0 leader
+  /// sits in a different availability zone (paper Fig. 7: "Leader in V-k").
+  std::uint32_t agreement_az_rotation = 0;
+
+  Duration request_timeout = 2 * kSecond;       // consensus liveness timer
+  Duration view_change_timeout = 4 * kSecond;
+  Duration client_retry = 2 * kSecond;
+
+  /// Application factory (defaults to the KV store used in the paper).
+  std::function<std::unique_ptr<Application>()> make_app = [] {
+    return std::make_unique<KvStore>();
+  };
+};
+
+/// Number of availability zones we model per region (paper §3.1: all major
+/// regions have >= 3 AZs; Virginia has more and hosts the agreement group).
+int az_count(Region r);
+/// Nearby region used for extra fault domains in f=2 deployments (paper §5).
+Region nearby_region(Region r);
+/// Placement rule shared by all systems: up to four distinct AZs of the
+/// home region, then AZs of the nearby region (additional fault domains).
+std::vector<Site> geo_replica_sites(Region home, std::size_t n);
+
+class SpiderSystem {
+ public:
+  SpiderSystem(World& world, SpiderTopology topology);
+
+  // ---- structure --------------------------------------------------------
+  [[nodiscard]] std::size_t agreement_size() const { return agreement_.size(); }
+  AgreementReplica& agreement(std::size_t i) { return *agreement_[i]; }
+  [[nodiscard]] std::vector<NodeId> agreement_ids() const;
+
+  [[nodiscard]] std::vector<GroupId> group_ids() const;
+  [[nodiscard]] std::size_t group_size(GroupId g) const { return groups_.at(g).size(); }
+  ExecutionReplica& exec(GroupId g, std::size_t i) { return *groups_.at(g)[i]; }
+  [[nodiscard]] ClientGroupInfo group_info(GroupId g) const;
+  [[nodiscard]] GroupId nearest_group(Region r) const;
+  [[nodiscard]] Region group_region(GroupId g) const { return group_regions_.at(g); }
+
+  // ---- clients -----------------------------------------------------------
+  /// Creates a client at `site` attached to the nearest execution group.
+  std::unique_ptr<SpiderClient> make_client(Site site);
+
+  // ---- runtime reconfiguration (paper §3.6) ------------------------------
+  /// Starts 2fe+1 replicas in `region` and submits <AddGroup> through the
+  /// admin client; cb fires when the reconfiguration has been agreed.
+  GroupId add_group(Region region, std::function<void()> done = {});
+  /// Submits <RemoveGroup>; replicas are shut down once agreed.
+  void remove_group(GroupId g, std::function<void()> done = {});
+
+  /// The privileged admin client (created lazily, attached to group 1).
+  SpiderClient& admin();
+
+  [[nodiscard]] World& world() { return world_; }
+  [[nodiscard]] const SpiderTopology& topology() const { return topo_; }
+
+ private:
+  std::vector<Site> replica_sites(Region home, std::size_t n) const;
+  std::vector<std::unique_ptr<ExecutionReplica>> build_group(GroupId g, Region region,
+                                                             const std::vector<NodeId>& ids);
+  void wire_checkpoint_peers();
+
+  World& world_;
+  SpiderTopology topo_;
+  std::vector<std::unique_ptr<AgreementReplica>> agreement_;
+  std::map<GroupId, std::vector<std::unique_ptr<ExecutionReplica>>> groups_;
+  std::map<GroupId, Region> group_regions_;
+  GroupId next_group_id_ = 1;
+  std::unique_ptr<SpiderClient> admin_;
+};
+
+}  // namespace spider

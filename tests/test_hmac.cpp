@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "crypto/hmac.hpp"
+
+namespace spider {
+namespace {
+
+std::string hmac_hex(BytesView key, BytesView data) {
+  Sha256Digest d = hmac_sha256(key, data);
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Bytes data = to_bytes(std::string("Hi There"));
+  EXPECT_EQ(hmac_hex(key, data),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  Bytes key = to_bytes(std::string("Jefe"));
+  Bytes data = to_bytes(std::string("what do ya want for nothing?"));
+  EXPECT_EQ(hmac_hex(key, data),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(hmac_hex(key, data),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  Bytes data = to_bytes(std::string("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hmac_hex(key, data),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+  Bytes data = to_bytes(std::string("message"));
+  Sha256Digest a = hmac_sha256(to_bytes(std::string("key1")), data);
+  Sha256Digest b = hmac_sha256(to_bytes(std::string("key2")), data);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hmac, MessageSensitivity) {
+  Bytes key = to_bytes(std::string("key"));
+  Sha256Digest a = hmac_sha256(key, to_bytes(std::string("message1")));
+  Sha256Digest b = hmac_sha256(key, to_bytes(std::string("message2")));
+  EXPECT_NE(a, b);
+}
+
+TEST(Hmac, TagIs16Bytes) {
+  Bytes tag = hmac_tag(to_bytes(std::string("k")), to_bytes(std::string("m")));
+  EXPECT_EQ(tag.size(), 16u);
+}
+
+TEST(Hmac, TagIsTruncatedDigest) {
+  Bytes key = to_bytes(std::string("k"));
+  Bytes msg = to_bytes(std::string("m"));
+  Sha256Digest full = hmac_sha256(key, msg);
+  Bytes tag = hmac_tag(key, msg);
+  EXPECT_TRUE(bytes_equal(tag, BytesView(full.data(), 16)));
+}
+
+TEST(Hmac, MacEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(mac_equal(a, b));
+  EXPECT_FALSE(mac_equal(a, c));
+  EXPECT_FALSE(mac_equal(a, d));
+}
+
+}  // namespace
+}  // namespace spider

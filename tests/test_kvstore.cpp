@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "app/kvstore.hpp"
+#include "common/serde.hpp"
+
+namespace spider {
+namespace {
+
+TEST(KvStore, PutGet) {
+  KvStore kv;
+  kv.execute(kv_put("k", to_bytes(std::string("v"))));
+  KvReply r = kv_decode_reply(kv.execute(kv_get("k")));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(to_string(r.value), "v");
+}
+
+TEST(KvStore, GetMissing) {
+  KvStore kv;
+  KvReply r = kv_decode_reply(kv.execute(kv_get("nope")));
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.value.empty());
+}
+
+TEST(KvStore, Overwrite) {
+  KvStore kv;
+  kv.execute(kv_put("k", to_bytes(std::string("v1"))));
+  kv.execute(kv_put("k", to_bytes(std::string("v2"))));
+  KvReply r = kv_decode_reply(kv.execute(kv_get("k")));
+  EXPECT_EQ(to_string(r.value), "v2");
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStore, Delete) {
+  KvStore kv;
+  kv.execute(kv_put("k", to_bytes(std::string("v"))));
+  KvReply del = kv_decode_reply(kv.execute(kv_del("k")));
+  EXPECT_TRUE(del.ok);
+  EXPECT_FALSE(kv_decode_reply(kv.execute(kv_get("k"))).ok);
+  KvReply del2 = kv_decode_reply(kv.execute(kv_del("k")));
+  EXPECT_FALSE(del2.ok);  // already gone
+}
+
+TEST(KvStore, SizeOp) {
+  KvStore kv;
+  kv.execute(kv_put("a", {}));
+  kv.execute(kv_put("b", {}));
+  KvReply r = kv_decode_reply(kv.execute(kv_size()));
+  Reader rd(r.value);
+  EXPECT_EQ(rd.u64(), 2u);
+}
+
+TEST(KvStore, ReadonlyDoesNotMutate) {
+  KvStore kv;
+  Bytes put = kv_put("k", to_bytes(std::string("v")));
+  KvReply r = kv_decode_reply(kv.execute_readonly(put));
+  EXPECT_FALSE(r.ok);  // mutation rejected
+  EXPECT_EQ(kv.size(), 0u);
+}
+
+TEST(KvStore, ReadonlyGetWorks) {
+  KvStore kv;
+  kv.execute(kv_put("k", to_bytes(std::string("v"))));
+  KvReply r = kv_decode_reply(kv.execute_readonly(kv_get("k")));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(to_string(r.value), "v");
+}
+
+TEST(KvStore, SnapshotRestoreRoundTrip) {
+  KvStore a;
+  a.execute(kv_put("x", to_bytes(std::string("1"))));
+  a.execute(kv_put("y", to_bytes(std::string("2"))));
+  Bytes snap = a.snapshot();
+
+  KvStore b;
+  b.execute(kv_put("z", to_bytes(std::string("junk"))));
+  b.restore(snap);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(to_string(kv_decode_reply(b.execute(kv_get("x"))).value), "1");
+  EXPECT_FALSE(kv_decode_reply(b.execute(kv_get("z"))).ok);
+}
+
+TEST(KvStore, EmptySnapshot) {
+  KvStore a;
+  Bytes snap = a.snapshot();
+  KvStore b;
+  b.execute(kv_put("k", {}));
+  b.restore(snap);
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(KvStore, DeterministicReplay) {
+  // Same op sequence on two instances -> same snapshots (RSM property A.14).
+  std::vector<Bytes> ops = {kv_put("a", to_bytes(std::string("1"))),
+                            kv_put("b", to_bytes(std::string("2"))), kv_del("a"),
+                            kv_put("b", to_bytes(std::string("3")))};
+  KvStore x, y;
+  for (const Bytes& op : ops) {
+    Bytes rx = x.execute(op);
+    Bytes ry = y.execute(op);
+    EXPECT_EQ(rx, ry);
+  }
+  EXPECT_EQ(x.snapshot(), y.snapshot());
+}
+
+TEST(KvStore, CloneEmptyIsEmpty) {
+  KvStore kv;
+  kv.execute(kv_put("k", {}));
+  auto fresh = kv.clone_empty();
+  KvReply r = kv_decode_reply(fresh->execute(kv_get("k")));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(KvStore, MalformedOpThrows) {
+  KvStore kv;
+  Bytes garbage = {0x99};
+  EXPECT_THROW(kv.execute(garbage), SerdeError);
+}
+
+TEST(KvStore, BinaryValues) {
+  KvStore kv;
+  Bytes blob(300);
+  for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<std::uint8_t>(i);
+  kv.execute(kv_put("bin", blob));
+  EXPECT_EQ(kv_decode_reply(kv.execute(kv_get("bin"))).value, blob);
+}
+
+}  // namespace
+}  // namespace spider

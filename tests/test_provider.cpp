@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "crypto/provider.hpp"
+
+namespace spider {
+namespace {
+
+// Both providers must satisfy the same contract; run the suite over each.
+class ProviderSuite : public ::testing::TestWithParam<bool /*real*/> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      provider_ = std::make_unique<RealCrypto>(7, 512);
+    } else {
+      provider_ = std::make_unique<FastCrypto>(7);
+    }
+  }
+  std::unique_ptr<CryptoProvider> provider_;
+};
+
+TEST_P(ProviderSuite, SignVerify) {
+  Bytes msg = to_bytes(std::string("hello"));
+  Bytes sig = provider_->sign(1, msg);
+  EXPECT_EQ(sig.size(), provider_->signature_size());
+  EXPECT_TRUE(provider_->verify(1, msg, sig));
+}
+
+TEST_P(ProviderSuite, VerifyRejectsWrongSigner) {
+  Bytes msg = to_bytes(std::string("hello"));
+  Bytes sig = provider_->sign(1, msg);
+  EXPECT_FALSE(provider_->verify(2, msg, sig));
+}
+
+TEST_P(ProviderSuite, VerifyRejectsTamperedMessage) {
+  Bytes msg = to_bytes(std::string("hello"));
+  Bytes sig = provider_->sign(1, msg);
+  Bytes other = to_bytes(std::string("hellO"));
+  EXPECT_FALSE(provider_->verify(1, other, sig));
+}
+
+TEST_P(ProviderSuite, VerifyRejectsTamperedSignature) {
+  Bytes msg = to_bytes(std::string("hello"));
+  Bytes sig = provider_->sign(1, msg);
+  sig[0] ^= 0xff;
+  EXPECT_FALSE(provider_->verify(1, msg, sig));
+}
+
+TEST_P(ProviderSuite, MacRoundTrip) {
+  Bytes msg = to_bytes(std::string("macme"));
+  Bytes tag = provider_->mac(1, 2, msg);
+  EXPECT_EQ(tag.size(), provider_->mac_size());
+  EXPECT_TRUE(provider_->verify_mac(1, 2, msg, tag));
+  // MAC keys are pairwise symmetric: the reverse direction verifies too.
+  EXPECT_TRUE(provider_->verify_mac(2, 1, msg, tag));
+}
+
+TEST_P(ProviderSuite, MacRejectsOtherPair) {
+  Bytes msg = to_bytes(std::string("macme"));
+  Bytes tag = provider_->mac(1, 2, msg);
+  EXPECT_FALSE(provider_->verify_mac(1, 3, msg, tag));
+}
+
+TEST_P(ProviderSuite, MacRejectsTamper) {
+  Bytes msg = to_bytes(std::string("macme"));
+  Bytes tag = provider_->mac(1, 2, msg);
+  Bytes other = to_bytes(std::string("macmE"));
+  EXPECT_FALSE(provider_->verify_mac(1, 2, other, tag));
+  tag[3] ^= 1;
+  EXPECT_FALSE(provider_->verify_mac(1, 2, msg, tag));
+}
+
+TEST_P(ProviderSuite, CostsPositive) {
+  const CryptoCosts& c = provider_->costs();
+  EXPECT_GT(c.sign, 0);
+  EXPECT_GT(c.verify, 0);
+  EXPECT_GT(c.mac, 0);
+  EXPECT_GT(c.sign, c.verify);  // RSA asymmetry the evaluation relies on
+  EXPECT_GT(c.verify, c.mac);
+}
+
+INSTANTIATE_TEST_SUITE_P(Providers, ProviderSuite, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "RealCrypto" : "FastCrypto";
+                         });
+
+TEST(FastCrypto, SignatureSizeMatchesRsa1024) {
+  FastCrypto fc(1);
+  EXPECT_EQ(fc.signature_size(), 128u);  // RSA-1024 signature bytes
+}
+
+TEST(RealCrypto, PublicKeyStableAcrossCalls) {
+  RealCrypto rc(11, 512);
+  const RsaPublicKey& a = rc.public_key(5);
+  const RsaPublicKey& b = rc.public_key(5);
+  EXPECT_EQ(BigInt::cmp(a.n, b.n), 0);
+}
+
+TEST(RealCrypto, DistinctNodesDistinctKeys) {
+  RealCrypto rc(11, 512);
+  EXPECT_NE(BigInt::cmp(rc.public_key(1).n, rc.public_key(2).n), 0);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/rsa.hpp"
+
+namespace spider {
+namespace {
+
+// Shared 512-bit key pair: generated once to keep the suite fast.
+const RsaKeyPair& test_keys() {
+  static RsaKeyPair kp = [] {
+    Rng rng(4242);
+    return rsa_generate(rng, 512);
+  }();
+  return kp;
+}
+
+TEST(Rsa, KeyGenerationShape) {
+  const RsaKeyPair& kp = test_keys();
+  EXPECT_EQ(kp.pub.n.bit_length(), 512u);
+  EXPECT_EQ(kp.pub.e.low_u64(), 65537u);
+  EXPECT_EQ(kp.pub.modulus_bytes(), 64u);
+  // n = p * q
+  EXPECT_EQ(BigInt::cmp(BigInt::mul(kp.priv.p, kp.priv.q), kp.pub.n), 0);
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  Bytes msg = to_bytes(std::string("attack at dawn"));
+  Bytes sig = rsa_sign(test_keys().priv, msg);
+  EXPECT_EQ(sig.size(), 64u);
+  EXPECT_TRUE(rsa_verify(test_keys().pub, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsTamperedMessage) {
+  Bytes msg = to_bytes(std::string("attack at dawn"));
+  Bytes sig = rsa_sign(test_keys().priv, msg);
+  Bytes tampered = to_bytes(std::string("attack at dusk"));
+  EXPECT_FALSE(rsa_verify(test_keys().pub, tampered, sig));
+}
+
+TEST(Rsa, VerifyRejectsTamperedSignature) {
+  Bytes msg = to_bytes(std::string("m"));
+  Bytes sig = rsa_sign(test_keys().priv, msg);
+  sig[10] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(test_keys().pub, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsWrongLength) {
+  Bytes msg = to_bytes(std::string("m"));
+  Bytes sig = rsa_sign(test_keys().priv, msg);
+  sig.pop_back();
+  EXPECT_FALSE(rsa_verify(test_keys().pub, msg, sig));
+  sig.push_back(0);
+  sig.push_back(0);
+  EXPECT_FALSE(rsa_verify(test_keys().pub, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsSignatureGeModulus) {
+  Bytes msg = to_bytes(std::string("m"));
+  Bytes huge = test_keys().pub.n.to_bytes_be(64);  // == n, invalid
+  EXPECT_FALSE(rsa_verify(test_keys().pub, msg, huge));
+}
+
+TEST(Rsa, SignatureDeterministic) {
+  Bytes msg = to_bytes(std::string("deterministic"));
+  EXPECT_EQ(rsa_sign(test_keys().priv, msg), rsa_sign(test_keys().priv, msg));
+}
+
+TEST(Rsa, DifferentMessagesDifferentSignatures) {
+  EXPECT_NE(rsa_sign(test_keys().priv, to_bytes(std::string("a"))),
+            rsa_sign(test_keys().priv, to_bytes(std::string("b"))));
+}
+
+TEST(Rsa, CrossKeyVerificationFails) {
+  Rng rng(999);
+  RsaKeyPair other = rsa_generate(rng, 512);
+  Bytes msg = to_bytes(std::string("cross"));
+  Bytes sig = rsa_sign(test_keys().priv, msg);
+  EXPECT_FALSE(rsa_verify(other.pub, msg, sig));
+}
+
+TEST(Rsa, PublicKeyEncodeDecode) {
+  Bytes enc = test_keys().pub.encode();
+  RsaPublicKey dec = RsaPublicKey::decode(enc);
+  EXPECT_EQ(BigInt::cmp(dec.n, test_keys().pub.n), 0);
+  EXPECT_EQ(BigInt::cmp(dec.e, test_keys().pub.e), 0);
+}
+
+TEST(Rsa, DeterministicKeygenFromSeed) {
+  Rng a(123), b(123);
+  RsaKeyPair ka = rsa_generate(a, 512);
+  RsaKeyPair kb = rsa_generate(b, 512);
+  EXPECT_EQ(BigInt::cmp(ka.pub.n, kb.pub.n), 0);
+}
+
+TEST(Rsa, EmptyMessageSignable) {
+  Bytes sig = rsa_sign(test_keys().priv, {});
+  EXPECT_TRUE(rsa_verify(test_keys().pub, {}, sig));
+}
+
+TEST(Rsa, LargeMessageSignable) {
+  Bytes msg(100000, 0x5a);
+  Bytes sig = rsa_sign(test_keys().priv, msg);
+  EXPECT_TRUE(rsa_verify(test_keys().pub, msg, sig));
+  msg[50000] ^= 1;
+  EXPECT_FALSE(rsa_verify(test_keys().pub, msg, sig));
+}
+
+TEST(Rsa, CrtMatchesPlainExponentiation) {
+  // s == m^d mod n computed without CRT.
+  Bytes msg = to_bytes(std::string("crt check"));
+  Bytes sig = rsa_sign(test_keys().priv, msg);
+  BigInt s = BigInt::from_bytes_be(sig);
+  BigInt recovered = BigInt::powmod(s, test_keys().pub.e, test_keys().pub.n);
+  // Re-signing via plain powmod of the padded block should give the same s.
+  BigInt plain = BigInt::powmod(recovered, test_keys().priv.d, test_keys().priv.n);
+  EXPECT_EQ(BigInt::cmp(plain, s), 0);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "common/serde.hpp"
+
+namespace spider {
+namespace {
+
+TEST(Serde, RoundTripPrimitives) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Serde, BytesRoundTrip) {
+  Bytes payload = {1, 2, 3, 4, 5};
+  Writer w;
+  w.bytes(payload);
+  w.str("hello");
+
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), payload);
+  EXPECT_EQ(r.str(), "hello");
+  r.expect_done();
+}
+
+TEST(Serde, EmptyBytes) {
+  Writer w;
+  w.bytes({});
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, RawBytesNoPrefix) {
+  Writer w;
+  Bytes raw = {9, 8, 7};
+  w.raw(raw);
+  EXPECT_EQ(w.size(), 3u);
+  Reader r(w.data());
+  BytesView v = r.raw(3);
+  EXPECT_TRUE(bytes_equal(v, raw));
+}
+
+TEST(Serde, TruncatedU64Throws) {
+  Bytes buf = {1, 2, 3};
+  Reader r(buf);
+  EXPECT_THROW(r.u64(), SerdeError);
+}
+
+TEST(Serde, TruncatedBytesThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8(1);
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), SerdeError);
+}
+
+TEST(Serde, OversizedLengthPrefixThrows) {
+  Writer w;
+  w.u32(0xffffffffu);
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes_view(), SerdeError);
+}
+
+TEST(Serde, InvalidBooleanThrows) {
+  Bytes buf = {7};
+  Reader r(buf);
+  EXPECT_THROW(r.boolean(), SerdeError);
+}
+
+TEST(Serde, ExpectDoneDetectsTrailing) {
+  Bytes buf = {1, 2};
+  Reader r(buf);
+  r.u8();
+  EXPECT_THROW(r.expect_done(), SerdeError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Serde, NestedMessages) {
+  Writer inner;
+  inner.u32(7);
+  inner.str("nested");
+
+  Writer outer;
+  outer.u8(1);
+  outer.bytes(inner.data());
+
+  Reader r(outer.data());
+  EXPECT_EQ(r.u8(), 1);
+  Reader ir(r.bytes_view());
+  EXPECT_EQ(ir.u32(), 7u);
+  EXPECT_EQ(ir.str(), "nested");
+}
+
+TEST(Hex, RoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(b), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), b);
+  EXPECT_EQ(from_hex("0001ABFF"), b);
+}
+
+TEST(Hex, Malformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+class SerdeSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SerdeSizeSweep, LargeBufferRoundTrip) {
+  std::size_t n = GetParam();
+  Bytes payload(n);
+  for (std::size_t i = 0; i < n; ++i) payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  Writer w;
+  w.bytes(payload);
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerdeSizeSweep,
+                         ::testing::Values(0, 1, 63, 64, 65, 255, 256, 1024, 65536));
+
+}  // namespace
+}  // namespace spider

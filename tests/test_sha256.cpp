@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "crypto/sha256.hpp"
+
+namespace spider {
+namespace {
+
+std::string hash_hex(const std::string& input) {
+  Bytes in = to_bytes(input);
+  return to_hex(sha256(in));
+}
+
+// NIST / well-known test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(""), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongMillionA) {
+  Bytes in(1'000'000, 'a');
+  EXPECT_EQ(to_hex(sha256(in)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, QuickBrownFox) {
+  EXPECT_EQ(hash_hex("The quick brown fox jumps over the lazy dog"),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "hello world, this is an incremental hashing test spanning blocks";
+  Bytes in = to_bytes(msg);
+
+  Sha256 ctx;
+  // Feed in awkward chunk sizes.
+  std::size_t pos = 0;
+  std::size_t chunk = 1;
+  while (pos < in.size()) {
+    std::size_t take = std::min(chunk, in.size() - pos);
+    ctx.update(BytesView(in.data() + pos, take));
+    pos += take;
+    chunk = chunk * 2 + 1;
+  }
+  Sha256Digest inc = ctx.finish();
+  Sha256Digest one = Sha256::hash(in);
+  EXPECT_EQ(inc, one);
+}
+
+TEST(Sha256, ResetReuse) {
+  Sha256 ctx;
+  ctx.update(to_bytes(std::string("garbage to be discarded")));
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update(to_bytes(std::string("abc")));
+  Sha256Digest d = ctx.finish();
+  EXPECT_EQ(to_hex(BytesView(d.data(), d.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DigestPrefixStable) {
+  Sha256Digest d = Sha256::hash(to_bytes(std::string("abc")));
+  EXPECT_EQ(digest_prefix(d), digest_prefix(d));
+  Sha256Digest d2 = Sha256::hash(to_bytes(std::string("abd")));
+  EXPECT_NE(digest_prefix(d), digest_prefix(d2));
+}
+
+class Sha256BoundarySweep : public ::testing::TestWithParam<std::size_t> {};
+
+// Hash inputs around the 64-byte block boundary; verify incremental ==
+// one-shot for each size (padding edge cases).
+TEST_P(Sha256BoundarySweep, BlockBoundaries) {
+  std::size_t n = GetParam();
+  Bytes in(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = static_cast<std::uint8_t>(i);
+
+  Sha256 ctx;
+  std::size_t half = n / 2;
+  ctx.update(BytesView(in.data(), half));
+  ctx.update(BytesView(in.data() + half, n - half));
+  EXPECT_EQ(ctx.finish(), Sha256::hash(in));
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, Sha256BoundarySweep,
+                         ::testing::Values(0, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128,
+                                           129, 1000));
+
+}  // namespace
+}  // namespace spider

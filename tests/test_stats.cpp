@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace spider {
+namespace {
+
+TEST(LatencyStats, EmptyIsZero) {
+  LatencyStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.median(), 0);
+  EXPECT_EQ(s.p90(), 0);
+}
+
+TEST(LatencyStats, SingleSample) {
+  LatencyStats s;
+  s.add(100);
+  EXPECT_EQ(s.median(), 100);
+  EXPECT_EQ(s.p90(), 100);
+  EXPECT_EQ(s.min(), 100);
+  EXPECT_EQ(s.max(), 100);
+}
+
+TEST(LatencyStats, MedianOfKnownSet) {
+  LatencyStats s;
+  for (Duration v : {10, 20, 30, 40, 50}) s.add(v);
+  EXPECT_EQ(s.median(), 30);
+  EXPECT_EQ(s.percentile(0), 10);
+  EXPECT_EQ(s.percentile(100), 50);
+}
+
+TEST(LatencyStats, PercentileInterpolates) {
+  LatencyStats s;
+  s.add(0);
+  s.add(100);
+  EXPECT_EQ(s.median(), 50);
+  EXPECT_EQ(s.percentile(90), 90);
+}
+
+TEST(LatencyStats, UnsortedInsertOrder) {
+  LatencyStats s;
+  for (Duration v : {50, 10, 40, 20, 30}) s.add(v);
+  EXPECT_EQ(s.median(), 30);
+}
+
+TEST(LatencyStats, Mean) {
+  LatencyStats s;
+  for (Duration v : {1, 2, 3, 4}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+TEST(LatencyStats, P90OfHundred) {
+  LatencyStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(static_cast<double>(s.p90()), 90.0, 1.0);
+}
+
+TEST(TimeSeries, BucketsAverages) {
+  TimeSeries ts(1000);
+  ts.add(0, 10);
+  ts.add(500, 20);
+  ts.add(1500, 40);
+  auto pts = ts.points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].bucket_start, 0);
+  EXPECT_DOUBLE_EQ(pts[0].average, 15.0);
+  EXPECT_EQ(pts[0].count, 2u);
+  EXPECT_EQ(pts[1].bucket_start, 1000);
+  EXPECT_DOUBLE_EQ(pts[1].average, 40.0);
+}
+
+TEST(TimeSeries, SkipsEmptyBuckets) {
+  TimeSeries ts(10);
+  ts.add(5, 1);
+  ts.add(95, 2);
+  auto pts = ts.points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[1].bucket_start, 90);
+}
+
+TEST(TimeSeries, NegativeTimeIgnored) {
+  TimeSeries ts(10);
+  ts.add(-5, 1);
+  EXPECT_TRUE(ts.points().empty());
+}
+
+TEST(CpuWindow, Utilization) {
+  CpuWindow w;
+  w.begin(1000, 500);
+  // 300us busy over 1000us elapsed -> 30%
+  EXPECT_DOUBLE_EQ(w.utilization(2000, 800), 30.0);
+  EXPECT_DOUBLE_EQ(w.utilization(1000, 800), 0.0);  // zero elapsed guard
+}
+
+TEST(FormatMs, Formats) {
+  EXPECT_EQ(format_ms(12345), "12.3 ms");
+  EXPECT_EQ(format_ms(0), "0.0 ms");
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,245 @@
+// Parameterized property sweeps across protocol configurations:
+//   - PBFT with n = 4/7/10 (f = 1/2/3), crash-fault subsets
+//   - IRMC grid over (implementation x group sizes x capacity)
+//   - full Spider over (fa, fe, IRMC kind, z)
+// Each instance checks the same invariants (safety, validity, liveness),
+// so every grid point is a distinct behaviour check rather than a copy.
+#include <gtest/gtest.h>
+
+#include "consensus/pbft_replica.hpp"
+#include "irmc/irmc.hpp"
+#include "sim/world.hpp"
+#include "spider/system.hpp"
+
+namespace spider {
+namespace {
+
+// ------------------------------------------------------------ PBFT sweep
+
+struct PbftParam {
+  std::uint32_t f;
+  std::uint32_t crashes;  // how many followers to crash (<= f)
+  std::string label() const {
+    return "f" + std::to_string(f) + "_crash" + std::to_string(crashes);
+  }
+};
+
+class PbftSweep : public ::testing::TestWithParam<PbftParam> {};
+
+TEST_P(PbftSweep, TotalOrderWithCrashFaults) {
+  const PbftParam param = GetParam();
+  const std::uint32_t n = 3 * param.f + 1;
+  World world(1000 + param.f * 10 + param.crashes);
+
+  struct Host : ComponentHost {
+    using ComponentHost::ComponentHost;
+    std::unique_ptr<PbftReplica> replica;
+    std::vector<std::pair<SeqNr, Bytes>> delivered;
+  };
+  std::vector<std::unique_ptr<Host>> hosts;
+  std::vector<NodeId> ids;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    hosts.push_back(std::make_unique<Host>(world, world.allocate_id(),
+                                           Site{Region::Virginia, static_cast<std::uint8_t>(i % 4)}));
+    ids.push_back(hosts.back()->id());
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PbftConfig cfg;
+    cfg.replicas = ids;
+    cfg.my_index = i;
+    cfg.f = param.f;
+    cfg.request_timeout = kSecond;
+    cfg.view_change_timeout = 2 * kSecond;
+    Host* h = hosts[i].get();
+    h->replica = std::make_unique<PbftReplica>(*h, cfg, [h](SeqNr s, BytesView m) {
+      h->delivered.emplace_back(s, to_bytes(m));
+    });
+  }
+  // Crash the last `crashes` followers (never the view-0 primary).
+  for (std::uint32_t c = 0; c < param.crashes; ++c) {
+    world.net().set_node_down(hosts[n - 1 - c]->id(), true);
+  }
+
+  const int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(i));
+    Bytes m = std::move(w).take();
+    for (auto& h : hosts) h->replica->order(m);
+  }
+  world.run_for(10 * kSecond);
+
+  // All live replicas agree on an identical gap-free order (A-Safety/A-Order).
+  const auto& reference = hosts[0]->delivered;
+  ASSERT_EQ(reference.size(), static_cast<std::size_t>(kRequests));
+  for (std::uint32_t i = 0; i < n - param.crashes; ++i) {
+    EXPECT_EQ(hosts[i]->delivered, reference) << "replica " << i;
+  }
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i].first, i + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PbftSweep,
+                         ::testing::Values(PbftParam{1, 0}, PbftParam{1, 1}, PbftParam{2, 0},
+                                           PbftParam{2, 2}, PbftParam{3, 0}, PbftParam{3, 3}),
+                         [](const ::testing::TestParamInfo<PbftParam>& info) {
+                           return info.param.label();
+                         });
+
+// ------------------------------------------------------------ IRMC sweep
+
+struct IrmcParam {
+  IrmcKind kind;
+  std::uint32_t ns, nr, fs, fr;
+  Position capacity;
+  std::string label() const {
+    return std::string(kind == IrmcKind::ReceiverCollect ? "RC" : "SC") + "_s" +
+           std::to_string(ns) + "r" + std::to_string(nr) + "_cap" + std::to_string(capacity);
+  }
+};
+
+class IrmcSweep : public ::testing::TestWithParam<IrmcParam> {};
+
+TEST_P(IrmcSweep, QuorumDeliveryAndFlowControlInvariants) {
+  const IrmcParam p = GetParam();
+  World world(500 + p.ns * 10 + p.capacity);
+  IrmcConfig cfg;
+  std::vector<std::unique_ptr<ComponentHost>> shosts, rhosts;
+  for (std::uint32_t i = 0; i < p.ns; ++i) {
+    shosts.push_back(std::make_unique<ComponentHost>(world, world.allocate_id(),
+                                                     Site{Region::Ireland, static_cast<std::uint8_t>(i % 3)}));
+    cfg.senders.push_back(shosts.back()->id());
+  }
+  for (std::uint32_t i = 0; i < p.nr; ++i) {
+    rhosts.push_back(std::make_unique<ComponentHost>(world, world.allocate_id(),
+                                                     Site{Region::Oregon, static_cast<std::uint8_t>(i % 3)}));
+    cfg.receivers.push_back(rhosts.back()->id());
+  }
+  cfg.fs = p.fs;
+  cfg.fr = p.fr;
+  cfg.capacity = p.capacity;
+  cfg.channel_tag = tags::kIrmc | 9;
+
+  std::vector<std::unique_ptr<IrmcSenderEndpoint>> tx;
+  std::vector<std::unique_ptr<IrmcReceiverEndpoint>> rx;
+  for (auto& h : shosts) tx.push_back(make_irmc_sender(p.kind, *h, cfg));
+  for (auto& h : rhosts) rx.push_back(make_irmc_receiver(p.kind, *h, cfg));
+
+  // Send 2*capacity messages; consume in order, moving the receiver window.
+  const Position total = 2 * p.capacity;
+  for (Position pos = 1; pos <= total; ++pos) {
+    Writer w;
+    w.u64(pos);
+    Bytes m = std::move(w).take();
+    for (auto& t : tx) t->send(3, pos, m, {});
+  }
+
+  std::vector<Position> got;
+  std::function<void(Position)> consume = [&](Position pos) {
+    if (pos > total) return;
+    rx[0]->receive(3, pos, [&, pos](RecvResult res) {
+      ASSERT_FALSE(res.too_old);
+      Reader r(res.message);
+      got.push_back(r.u64());
+      // fr+1 receivers must permit the move for the sender window to shift.
+      for (std::uint32_t i = 0; i <= p.fr && i < p.nr; ++i) {
+        rx[i]->move_window(3, pos + 1);
+      }
+      consume(pos + 1);
+    });
+  };
+  consume(1);
+  world.run_for(20 * kSecond);
+
+  // FIFO, gap-free, complete (Liveness I + II under window recycling).
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(total));
+  for (Position i = 0; i < total; ++i) EXPECT_EQ(got[i], i + 1);
+  // The sender window followed the fr+1 receiver moves.
+  EXPECT_GE(tx[0]->window_start(3), total - p.capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IrmcSweep,
+    ::testing::Values(IrmcParam{IrmcKind::ReceiverCollect, 3, 3, 1, 1, 2},
+                      IrmcParam{IrmcKind::ReceiverCollect, 4, 3, 1, 1, 8},
+                      IrmcParam{IrmcKind::ReceiverCollect, 5, 5, 2, 2, 4},
+                      IrmcParam{IrmcKind::ReceiverCollect, 7, 5, 2, 2, 16},
+                      IrmcParam{IrmcKind::SenderCollect, 3, 3, 1, 1, 2},
+                      IrmcParam{IrmcKind::SenderCollect, 4, 3, 1, 1, 8},
+                      IrmcParam{IrmcKind::SenderCollect, 5, 5, 2, 2, 4},
+                      IrmcParam{IrmcKind::SenderCollect, 7, 5, 2, 2, 16}),
+    [](const ::testing::TestParamInfo<IrmcParam>& info) { return info.param.label(); });
+
+// ------------------------------------------------------------ Spider sweep
+
+struct SpiderParam {
+  std::uint32_t fa, fe;
+  IrmcKind kind;
+  std::string label() const {
+    return "fa" + std::to_string(fa) + "_fe" + std::to_string(fe) +
+           (kind == IrmcKind::ReceiverCollect ? "_RC" : "_SC");
+  }
+};
+
+class SpiderSweep : public ::testing::TestWithParam<SpiderParam> {};
+
+TEST_P(SpiderSweep, EndToEndWriteReadAcrossConfigurations) {
+  const SpiderParam p = GetParam();
+  World world(2000 + p.fa * 10 + p.fe);
+  SpiderTopology topo;
+  topo.fa = p.fa;
+  topo.fe = p.fe;
+  topo.irmc_kind = p.kind;
+  topo.exec_regions = {Region::Virginia, Region::Tokyo};
+  topo.ka = 8;
+  topo.ke = 8;
+  topo.commit_capacity = 16;
+  SpiderSystem sys(world, topo);
+
+  auto client = sys.make_client(Site{Region::Tokyo, 0});
+  // Group sizes follow fa/fe.
+  EXPECT_EQ(sys.agreement_size(), 3 * p.fa + 1);
+  EXPECT_EQ(client->group().members.size(), 2 * p.fe + 1);
+
+  bool ok = false;
+  Duration lat = -1;
+  client->write(kv_put("k", to_bytes(std::string("v"))), [&](Bytes reply, Duration l) {
+    ok = kv_decode_reply(reply).ok;
+    lat = l;
+  });
+  Time deadline = world.now() + 30 * kSecond;
+  while (lat < 0 && world.now() < deadline) world.queue().run_next();
+  ASSERT_TRUE(ok);
+
+  // Crash fe execution replicas + fa agreement replicas: still live.
+  GroupId g = client->group().group;
+  for (std::uint32_t i = 0; i < p.fe; ++i) {
+    world.net().set_node_down(sys.exec(g, i).id(), true);
+  }
+  for (std::uint32_t i = 0; i < p.fa; ++i) {
+    world.net().set_node_down(sys.agreement(3 * p.fa - i).id(), true);  // followers
+  }
+  ok = false;
+  lat = -1;
+  client->write(kv_put("k2", to_bytes(std::string("v2"))), [&](Bytes reply, Duration l) {
+    ok = kv_decode_reply(reply).ok;
+    lat = l;
+  });
+  deadline = world.now() + 30 * kSecond;
+  while (lat < 0 && world.now() < deadline) world.queue().run_next();
+  EXPECT_TRUE(ok) << "write must survive fa+fe crash faults";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SpiderSweep,
+    ::testing::Values(SpiderParam{1, 1, IrmcKind::ReceiverCollect},
+                      SpiderParam{1, 2, IrmcKind::ReceiverCollect},
+                      SpiderParam{2, 1, IrmcKind::ReceiverCollect},
+                      SpiderParam{2, 2, IrmcKind::ReceiverCollect},
+                      SpiderParam{1, 1, IrmcKind::SenderCollect},
+                      SpiderParam{2, 2, IrmcKind::SenderCollect}),
+    [](const ::testing::TestParamInfo<SpiderParam>& info) { return info.param.label(); });
+
+}  // namespace
+}  // namespace spider
