@@ -47,6 +47,10 @@ struct Fleet {
   Time measure_from = 0;
   Time stop_at = 0;
   std::map<Region, LatencyStats> stats;           // per-region latencies
+  /// Ops whose *completion* falls inside [measure_from, stop_at): the
+  /// service-rate counter for throughput sweeps (latency stats stay gated
+  /// on issue time so warm-up ops never pollute them).
+  std::uint64_t completed = 0;
   TimeSeries* timeline = nullptr;                 // optional (Figure 10)
   std::function<bool(const Entry&)> active = {};  // optional gating
 
@@ -83,6 +87,7 @@ struct Fleet {
       Time issued = world.now();
       auto record = [this, i, issued](Bytes, Duration lat) {
         Entry& en = entries[i];
+        if (world.now() >= measure_from && world.now() < stop_at) ++completed;
         if (issued >= measure_from) {
           stats[en.region].add(lat);
           if (timeline) timeline->add(issued, to_ms(lat));

@@ -28,8 +28,12 @@ BftReplica::BftReplica(World& world, NodeId self, Site site, std::uint32_t index
   pc.quorum_weight = cfg.quorum_weight;
   pc.request_timeout = cfg.request_timeout;
   pc.view_change_timeout = cfg.view_change_timeout;
-  pbft_ = std::make_unique<PbftReplica>(*this, pc,
-                                        [this](SeqNr s, BytesView m) { on_deliver(s, m); });
+  pc.max_batch = cfg.max_batch;
+  pc.batch_delay = cfg.batch_delay;
+  pbft_ = std::make_unique<PbftReplica>(
+      *this, pc,
+      PbftReplica::BatchDeliverFn(
+          [this](SeqNr first, const std::vector<Bytes>& batch) { on_deliver_batch(first, batch); }));
   // A-Validity: only order authenticated client requests.
   pbft_->validate = [this](BytesView wire) {
     try {
@@ -100,8 +104,18 @@ void BftReplica::handle_client(NodeId from, Reader& r) {
   pbft_->order(to_bytes(body));
 }
 
-void BftReplica::on_deliver(SeqNr s, BytesView request) {
-  sn_ = s;
+void BftReplica::on_deliver_batch(SeqNr first, const std::vector<Bytes>& batch) {
+  sn_ = first + static_cast<SeqNr>(batch.size()) - 1;
+  for (const Bytes& request : batch) execute_one(request);
+  // `checkpoint_interval` counts logical requests; sn_ rests on a batch
+  // boundary here, so checkpoints never land mid-batch.
+  if (sn_ >= last_cp_ + checkpoint_interval_) {
+    last_cp_ = sn_;
+    checkpointer_->gen_cp(sn_, snapshot_state());
+  }
+}
+
+void BftReplica::execute_one(const Bytes& request) {
   if (request.empty()) return;  // null request from a view change
   try {
     Reader r(request);
@@ -122,9 +136,6 @@ void BftReplica::on_deliver(SeqNr s, BytesView request) {
     reply_to(req.client, req.counter, e.result, false);
   } catch (const SerdeError&) {
     return;
-  }
-  if (sn_ % checkpoint_interval_ == 0) {
-    checkpointer_->gen_cp(sn_, snapshot_state());
   }
 }
 
@@ -152,6 +163,7 @@ Bytes BftReplica::snapshot_state() const {
 
 void BftReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
   pbft_->gc(s + 1);
+  last_cp_ = std::max(last_cp_, s);
   if (s > sn_) {
     try {
       Reader r(state);

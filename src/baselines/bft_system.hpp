@@ -26,9 +26,11 @@ namespace spider {
 struct BftConfig {
   std::vector<Site> sites;  // one replica per entry; index 0 = view-0 leader
   std::uint32_t f = 1;
-  std::vector<std::uint32_t> weights;  // empty = classic
+  std::vector<std::uint32_t> weights = {};  // empty = classic
   std::uint32_t quorum_weight = 0;     // 0 = 2f+1
-  std::uint64_t checkpoint_interval = 32;
+  std::uint64_t checkpoint_interval = 32;  // counts logical requests
+  std::uint64_t max_batch = 1;             // requests per consensus instance
+  Duration batch_delay = 0;                // max wait for a batch to fill
   Duration request_timeout = 2 * kSecond;
   Duration view_change_timeout = 4 * kSecond;
   std::function<std::unique_ptr<Application>()> make_app = [] {
@@ -49,13 +51,15 @@ class BftReplica : public ComponentHost {
 
  private:
   void handle_client(NodeId from, Reader& r);
-  void on_deliver(SeqNr s, BytesView request);
+  void on_deliver_batch(SeqNr first, const std::vector<Bytes>& batch);
+  void execute_one(const Bytes& request);
   void reply_to(NodeId client, std::uint64_t counter, BytesView result, bool weak);
   Bytes snapshot_state() const;
   void on_stable_checkpoint(SeqNr s, BytesView state);
 
   std::uint32_t f_;
   std::uint64_t checkpoint_interval_;
+  SeqNr last_cp_ = 0;
   std::unique_ptr<Application> app_;
   std::unique_ptr<PbftReplica> pbft_;
   std::unique_ptr<Checkpointer> checkpointer_;

@@ -1,5 +1,7 @@
 #include "consensus/pbft_messages.hpp"
 
+#include <algorithm>
+
 namespace spider::pbft {
 
 namespace {
@@ -15,12 +17,20 @@ Sha256Digest get_digest(Reader& r) {
 
 Sha256Digest request_digest(BytesView request) { return Sha256::hash(request); }
 
+Sha256Digest batch_digest(const std::vector<Bytes>& requests) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(requests.size()));
+  for (const Bytes& m : requests) w.bytes(m);
+  return Sha256::hash(w.data());
+}
+
 Bytes PrePrepareMsg::encode() const {
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::PrePrepare));
   w.u64(view);
   w.u64(seq);
-  w.bytes(request);
+  w.u32(static_cast<std::uint32_t>(requests.size()));
+  for (const Bytes& m : requests) w.bytes(m);
   return std::move(w).take();
 }
 
@@ -28,7 +38,11 @@ PrePrepareMsg PrePrepareMsg::decode(Reader& r) {
   PrePrepareMsg m;
   m.view = r.u64();
   m.seq = r.u64();
-  m.request = r.bytes();
+  std::uint32_t n = r.u32();
+  // Count fields are attacker-controlled: cap the reservation and let the
+  // bounds-checked element reads throw SerdeError on short bodies.
+  m.requests.reserve(std::min<std::uint32_t>(n, 1024));
+  for (std::uint32_t i = 0; i < n; ++i) m.requests.push_back(r.bytes());
   return m;
 }
 
@@ -54,14 +68,17 @@ PrepareMsg PrepareMsg::decode(Reader& r) {
 void PreparedProof::encode_into(Writer& w) const {
   w.u64(seq);
   w.u64(view);
-  w.bytes(request);
+  w.u32(static_cast<std::uint32_t>(requests.size()));
+  for (const Bytes& m : requests) w.bytes(m);
 }
 
 PreparedProof PreparedProof::decode(Reader& r) {
   PreparedProof p;
   p.seq = r.u64();
   p.view = r.u64();
-  p.request = r.bytes();
+  std::uint32_t n = r.u32();
+  p.requests.reserve(std::min<std::uint32_t>(n, 1024));
+  for (std::uint32_t i = 0; i < n; ++i) p.requests.push_back(r.bytes());
   return p;
 }
 
@@ -82,7 +99,7 @@ ViewChangeMsg ViewChangeMsg::decode(Reader& r) {
   m.stable_floor = r.u64();
   m.replica = r.u32();
   std::uint32_t n = r.u32();
-  m.prepared.reserve(n);
+  m.prepared.reserve(std::min<std::uint32_t>(n, 1024));
   for (std::uint32_t i = 0; i < n; ++i) m.prepared.push_back(PreparedProof::decode(r));
   return m;
 }
@@ -104,7 +121,7 @@ NewViewMsg NewViewMsg::decode(Reader& r) {
   m.stable_floor = r.u64();
   m.replica = r.u32();
   std::uint32_t n = r.u32();
-  m.proposals.reserve(n);
+  m.proposals.reserve(std::min<std::uint32_t>(n, 1024));
   for (std::uint32_t i = 0; i < n; ++i) m.proposals.push_back(PreparedProof::decode(r));
   return m;
 }

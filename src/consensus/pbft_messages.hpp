@@ -20,10 +20,15 @@ enum class MsgType : std::uint8_t {
   NewView = 5,
 };
 
+/// A pre-prepare proposes one consensus instance carrying a *batch* of
+/// requests. `seq` is the logical sequence number of the first request;
+/// the instance covers [seq, seq + max(1, requests.size()) - 1], so
+/// sequence numbers keep counting individual requests, not batches. An
+/// empty batch is the null request (consumes one sequence number).
 struct PrePrepareMsg {
   ViewNr view = 0;
   SeqNr seq = 0;
-  Bytes request;  // full request payload (empty = null request)
+  std::vector<Bytes> requests;
 
   Bytes encode() const;
   static PrePrepareMsg decode(Reader& r);
@@ -41,12 +46,17 @@ struct PrepareMsg {
 using CommitMsg = PrepareMsg;
 
 /// Certificate that an instance prepared in some view; carried inside
-/// view-change messages (with the full request so the new primary can
-/// re-propose without a fetch protocol).
+/// view-change messages (with the full request batch so the new primary
+/// can re-propose without a fetch protocol).
 struct PreparedProof {
-  SeqNr seq = 0;
+  SeqNr seq = 0;  // logical seq of the batch's first request
   ViewNr view = 0;
-  Bytes request;
+  std::vector<Bytes> requests;  // empty = null request
+
+  /// Number of logical sequence numbers this instance occupies.
+  [[nodiscard]] SeqNr covers() const {
+    return requests.empty() ? 1 : static_cast<SeqNr>(requests.size());
+  }
 
   void encode_into(Writer& w) const;
   static PreparedProof decode(Reader& r);
@@ -77,5 +87,9 @@ struct NewViewMsg {
 /// Digest binding a request to nothing else (PBFT digests requests only;
 /// (view, seq) binding happens via the message fields).
 Sha256Digest request_digest(BytesView request);
+
+/// Digest over a whole batch (length-prefixed concatenation, so request
+/// boundaries are unambiguous). Prepare/commit messages certify this.
+Sha256Digest batch_digest(const std::vector<Bytes>& requests);
 
 }  // namespace spider::pbft

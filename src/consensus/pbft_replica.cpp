@@ -16,6 +16,12 @@ PbftReplica::PbftReplica(ComponentHost& host, PbftConfig config, DeliverFn deliv
   vc_timeout_cur_ = cfg_.view_change_timeout;
 }
 
+PbftReplica::PbftReplica(ComponentHost& host, PbftConfig config, BatchDeliverFn deliver,
+                         std::uint32_t tag)
+    : Component(host, tag), cfg_(std::move(config)), deliver_batch_(std::move(deliver)) {
+  vc_timeout_cur_ = cfg_.view_change_timeout;
+}
+
 std::uint32_t PbftReplica::weight(const std::set<std::uint32_t>& s) const {
   std::uint32_t sum = 0;
   for (std::uint32_t idx : s) sum += cfg_.weight_of(idx);
@@ -27,6 +33,12 @@ std::optional<std::uint32_t> PbftReplica::index_of(NodeId node) const {
     if (cfg_.replicas[i] == node) return i;
   }
   return std::nullopt;
+}
+
+bool PbftReplica::instance_relevant(SeqNr s) const {
+  if (in_window(s)) return true;
+  auto it = log_.find(s);
+  return it != log_.end() && s + it->second.covers() - 1 > floor_;
 }
 
 // --------------------------------------------------------------- auth I/O
@@ -135,30 +147,73 @@ void PbftReplica::cancel_request_timer(std::uint64_t key) {
 
 void PbftReplica::try_propose() {
   if (!is_primary() || vc_active_) return;
-  while (!pending_order_.empty() && next_seq_ <= floor_ + cfg_.window) {
-    std::uint64_t key = pending_order_.front();
-    auto it = pending_reqs_.find(key);
-    if (it == pending_reqs_.end() || in_log_.count(key)) {
-      pending_order_.pop_front();
+  while (true) {
+    if (next_seq_ > floor_ + cfg_.window) return;  // pipeline full until gc
+    std::uint64_t fresh = 0;
+    for (std::uint64_t key : pending_order_) {
+      if (pending_reqs_.count(key) != 0 && in_log_.count(key) == 0) {
+        if (++fresh >= cfg_.max_batch) break;  // enough for a full batch
+      }
+    }
+    if (fresh == 0) return;
+    if (cfg_.max_batch <= 1 || fresh >= cfg_.max_batch) {
+      cut_batch();
       continue;
     }
-    propose(it->second);
-    in_log_.insert(key);
-    pending_order_.pop_front();
+    // Partial batch: wait up to batch_delay for more requests to coalesce.
+    arm_batch_timer();
+    return;
   }
 }
 
-void PbftReplica::propose(Bytes request) {
-  SeqNr s = next_seq_++;
+void PbftReplica::arm_batch_timer() {
+  if (batch_timer_ != EventQueue::kInvalidEvent) return;
+  batch_timer_ = set_timer(cfg_.batch_delay, [this] {
+    batch_timer_ = EventQueue::kInvalidEvent;
+    cut_batch();
+    try_propose();
+  });
+}
+
+std::vector<Bytes> PbftReplica::take_pending(std::uint64_t limit) {
+  std::vector<Bytes> batch;
+  while (!pending_order_.empty() && batch.size() < limit) {
+    std::uint64_t key = pending_order_.front();
+    auto it = pending_reqs_.find(key);
+    if (it == pending_reqs_.end() || in_log_.count(key) != 0) {
+      pending_order_.pop_front();
+      continue;
+    }
+    batch.push_back(it->second);
+    in_log_.insert(key);
+    pending_order_.pop_front();
+  }
+  return batch;
+}
+
+void PbftReplica::cut_batch() {
+  if (!is_primary() || vc_active_) return;
+  if (next_seq_ > floor_ + cfg_.window) return;
+  std::uint64_t room = floor_ + cfg_.window - next_seq_ + 1;
+  std::vector<Bytes> batch = take_pending(std::min<std::uint64_t>(cfg_.max_batch, room));
+  if (batch.empty()) return;
+  propose(std::move(batch));
+}
+
+void PbftReplica::propose(std::vector<Bytes> batch) {
+  SeqNr s = next_seq_;
+  next_seq_ += static_cast<SeqNr>(batch.size());
   Entry& e = log_[s];
   e.view = view_;
   e.has_preprepare = true;
-  e.digest = pbft::request_digest(request);
-  e.request = std::move(request);
+  for (const Bytes& m : batch) host().charge_hash(m.size());
+  e.digest = pbft::batch_digest(batch);
+  e.requests = std::move(batch);
   e.prepares.insert(cfg_.my_index);  // pre-prepare counts as primary's prepare
+  ++batches_proposed_;
+  requests_proposed_ += e.requests.size();
 
-  pbft::PrePrepareMsg m{view_, s, e.request};
-  host().charge_hash(e.request.size());
+  pbft::PrePrepareMsg m{view_, s, e.requests};
   broadcast(m.encode(), /*sign=*/false);
   maybe_send_commit(s, e);
 }
@@ -166,8 +221,25 @@ void PbftReplica::propose(Bytes request) {
 void PbftReplica::handle_preprepare(std::uint32_t from_idx, pbft::PrePrepareMsg m) {
   if (vc_active_ || m.view != view_) return;
   if (from_idx != primary_index(m.view)) return;
-  if (!in_window(m.seq)) return;
-  if (!validate(m.request) && !m.request.empty()) return;
+  if (m.requests.size() > std::max<std::uint64_t>(cfg_.max_batch, 1)) return;
+  const SeqNr covers = m.requests.empty() ? 1 : static_cast<SeqNr>(m.requests.size());
+  const SeqNr end = m.seq + covers - 1;
+  // The whole batch must sit inside the watermark window; the head may
+  // straddle a floor this replica already advanced past.
+  if (end <= floor_ || m.seq > floor_ + cfg_.window) return;
+  for (const Bytes& req : m.requests) {
+    if (!validate(req) && !req.empty()) return;
+  }
+
+  // Reject proposals overlapping an accepted neighbouring batch (only a
+  // Byzantine primary would produce them).
+  auto nx = log_.lower_bound(m.seq + 1);
+  if (nx != log_.end() && nx->second.has_preprepare && nx->first <= end) return;
+  auto pv = log_.lower_bound(m.seq);
+  if (pv != log_.begin()) {
+    --pv;
+    if (pv->second.has_preprepare && pv->first + pv->second.covers() - 1 >= m.seq) return;
+  }
 
   Entry& e = log_[m.seq];
   if (e.has_preprepare) {
@@ -176,11 +248,13 @@ void PbftReplica::handle_preprepare(std::uint32_t from_idx, pbft::PrePrepareMsg 
   }
   e.view = m.view;
   e.has_preprepare = true;
-  host().charge_hash(m.request.size());
-  e.digest = pbft::request_digest(m.request);
-  e.request = std::move(m.request);
+  for (const Bytes& req : m.requests) host().charge_hash(req.size());
+  e.digest = pbft::batch_digest(m.requests);
+  e.requests = std::move(m.requests);
   e.prepares.insert(from_idx);
-  in_log_.insert(digest_prefix(e.digest));
+  for (const Bytes& req : e.requests) {
+    in_log_.insert(digest_prefix(pbft::request_digest(req)));
+  }
 
   if (!is_primary() && !e.prepare_sent) {
     e.prepare_sent = true;
@@ -193,7 +267,7 @@ void PbftReplica::handle_preprepare(std::uint32_t from_idx, pbft::PrePrepareMsg 
 }
 
 void PbftReplica::handle_prepare(std::uint32_t from_idx, pbft::PrepareMsg m) {
-  if (vc_active_ || m.view != view_ || !in_window(m.seq)) return;
+  if (vc_active_ || m.view != view_ || !instance_relevant(m.seq)) return;
   Entry& e = log_[m.seq];
   if (e.has_preprepare && !(e.digest == m.digest)) return;  // digest mismatch
   e.prepares.insert(from_idx);
@@ -214,7 +288,7 @@ void PbftReplica::maybe_send_commit(SeqNr s, Entry& e) {
 }
 
 void PbftReplica::handle_commit(std::uint32_t from_idx, pbft::CommitMsg m) {
-  if (m.view != view_ || !in_window(m.seq)) return;
+  if (m.view != view_ || !instance_relevant(m.seq)) return;
   Entry& e = log_[m.seq];
   if (e.has_preprepare && !(e.digest == m.digest)) return;
   e.commits.insert(from_idx);
@@ -225,17 +299,48 @@ void PbftReplica::handle_commit(std::uint32_t from_idx, pbft::CommitMsg m) {
   }
 }
 
+void PbftReplica::deliver_requests(SeqNr start, SeqNr from, const std::vector<Bytes>& requests) {
+  if (requests.empty()) {
+    // Null instance: consumes one sequence number.
+    if (deliver_batch_) {
+      deliver_batch_(from, std::vector<Bytes>{Bytes{}});
+    } else {
+      deliver_(from, BytesView{});
+    }
+    return;
+  }
+  for (const Bytes& req : requests) {
+    if (!req.empty()) note_delivered(digest_prefix(pbft::request_digest(req)));
+  }
+  if (deliver_batch_) {
+    if (from == start) {
+      deliver_batch_(start, requests);
+    } else {
+      // Head of the batch was already skipped past by gc(); deliver the tail.
+      std::vector<Bytes> tail(requests.begin() + static_cast<std::ptrdiff_t>(from - start),
+                              requests.end());
+      deliver_batch_(from, tail);
+    }
+  } else {
+    const SeqNr end = start + static_cast<SeqNr>(requests.size()) - 1;
+    for (SeqNr s = from; s <= end; ++s) deliver_(s, requests[s - start]);
+  }
+}
+
 void PbftReplica::try_deliver() {
   while (true) {
-    auto it = log_.find(last_delivered_ + 1);
-    if (it == log_.end() || !it->second.committed) return;
-    SeqNr s = it->first;
-    Bytes request = it->second.request;  // copy: callback may mutate the log via gc()
-    last_delivered_ = s;
-    if (!request.empty()) {
-      note_delivered(digest_prefix(pbft::request_digest(request)));
-    }
-    deliver_(s, request);
+    const SeqNr want = last_delivered_ + 1;
+    auto it = log_.upper_bound(want);
+    if (it == log_.begin()) return;
+    --it;
+    Entry& e = it->second;
+    const SeqNr start = it->first;
+    if (start + e.covers() - 1 < want) return;  // gap before the next instance
+    if (!e.committed) return;
+    // Copy: callbacks may mutate the log via gc().
+    std::vector<Bytes> requests = e.requests;
+    last_delivered_ = start + e.covers() - 1;
+    deliver_requests(start, want, requests);
   }
 }
 
@@ -244,7 +349,13 @@ void PbftReplica::gc(SeqNr s) {
   SeqNr new_floor = s - 1;
   if (new_floor <= floor_) return;
   floor_ = new_floor;
-  log_.erase(log_.begin(), log_.lower_bound(floor_ + 1));
+  for (auto it = log_.begin(); it != log_.end() && it->first <= floor_;) {
+    if (it->first + it->second.covers() - 1 <= floor_) {
+      it = log_.erase(it);
+    } else {
+      ++it;  // batch straddles the floor: its tail is still live
+    }
+  }
   if (last_delivered_ < floor_) last_delivered_ = floor_;
   if (next_seq_ <= floor_) next_seq_ = floor_ + 1;
   try_deliver();
@@ -263,6 +374,10 @@ void PbftReplica::start_view_change(ViewNr target) {
   // Suspend request timers; the view-change timer now guards liveness.
   for (auto& [key, timer] : request_timers_) cancel_timer(timer);
   request_timers_.clear();
+  if (batch_timer_ != EventQueue::kInvalidEvent) {
+    cancel_timer(batch_timer_);
+    batch_timer_ = EventQueue::kInvalidEvent;
+  }
   if (vc_timer_ != EventQueue::kInvalidEvent) cancel_timer(vc_timer_);
   vc_timer_ = set_timer(vc_timeout_cur_, [this] {
     vc_timer_ = EventQueue::kInvalidEvent;
@@ -277,9 +392,9 @@ void PbftReplica::start_view_change(ViewNr target) {
   vc.stable_floor = floor_;
   vc.replica = cfg_.my_index;
   for (const auto& [seq, e] : log_) {
-    if (seq <= floor_) continue;
+    if (seq + e.covers() - 1 <= floor_) continue;
     if (e.has_preprepare && weight(e.prepares) >= cfg_.quorum()) {
-      vc.prepared.push_back(pbft::PreparedProof{seq, e.view, e.request});
+      vc.prepared.push_back(pbft::PreparedProof{seq, e.view, e.requests});
     }
   }
   vcs_[target][cfg_.my_index] = vc;
@@ -316,30 +431,64 @@ void PbftReplica::maybe_complete_view_change(ViewNr target) {
   for (auto& [idx, msg] : vit->second) idxs.insert(idx);
   if (weight(idxs) < cfg_.quorum()) return;
 
-  // Assemble the new-view proposal set.
+  // Assemble the new-view proposal set. Proofs cover logical ranges and
+  // ranges from different views may overlap with different batch
+  // boundaries, so the per-seq "highest view wins" rule must be applied
+  // position-wise: at every position the highest-view proof covering it
+  // is re-proposed (trimmed to the positions it won), and positions
+  // claimed by no prepared batch become null requests.
   SeqNr max_floor = 0;
-  SeqNr max_seq = 0;
+  SeqNr max_end = 0;
+  std::vector<const pbft::PreparedProof*> proofs;
   for (auto& [idx, msg] : vit->second) {
     max_floor = std::max(max_floor, msg.stable_floor);
-    for (const pbft::PreparedProof& p : msg.prepared) max_seq = std::max(max_seq, p.seq);
+    for (const pbft::PreparedProof& p : msg.prepared) {
+      max_end = std::max(max_end, p.seq + p.covers() - 1);
+      proofs.push_back(&p);
+    }
   }
 
   pbft::NewViewMsg nv;
   nv.new_view = target;
   nv.stable_floor = max_floor;
   nv.replica = cfg_.my_index;
-  for (SeqNr s = max_floor + 1; s <= max_seq; ++s) {
-    const pbft::PreparedProof* best = nullptr;
-    for (auto& [idx, msg] : vit->second) {
-      for (const pbft::PreparedProof& p : msg.prepared) {
-        if (p.seq == s && (best == nullptr || p.view > best->view)) best = &p;
+  SeqNr s = max_floor + 1;
+  while (s <= max_end) {
+    const pbft::PreparedProof* chosen = nullptr;
+    for (const pbft::PreparedProof* p : proofs) {
+      if (p->seq > s || p->seq + p->covers() - 1 < s) continue;  // not covering s
+      if (chosen == nullptr || p->view > chosen->view ||
+          (p->view == chosen->view && p->seq == s && chosen->seq != s)) {
+        chosen = p;
       }
     }
-    if (best != nullptr) {
-      nv.proposals.push_back(*best);
-    } else {
+    if (chosen == nullptr) {
       nv.proposals.push_back(pbft::PreparedProof{s, 0, {}});  // null request
+      s += 1;
+      continue;
     }
+    // The chosen batch holds positions [s, cut]: it loses any tail that a
+    // higher-view proof (e.g. a committed re-proposal of requeued
+    // requests with different batch boundaries) prepared over.
+    const SeqNr end = chosen->seq + chosen->covers() - 1;
+    SeqNr cut = end;
+    for (const pbft::PreparedProof* q : proofs) {
+      if (q->view > chosen->view && q->seq > s && q->seq <= end) cut = std::min(cut, q->seq - 1);
+    }
+    if (chosen->seq == s && cut == end) {
+      nv.proposals.push_back(*chosen);
+    } else {
+      pbft::PreparedProof trimmed;
+      trimmed.seq = s;
+      trimmed.view = chosen->view;
+      if (!chosen->requests.empty()) {
+        trimmed.requests.assign(
+            chosen->requests.begin() + static_cast<std::ptrdiff_t>(s - chosen->seq),
+            chosen->requests.begin() + static_cast<std::ptrdiff_t>(cut - chosen->seq + 1));
+      }
+      nv.proposals.push_back(std::move(trimmed));
+    }
+    s = cut + 1;
   }
 
   broadcast(nv.encode(), /*sign=*/true);
@@ -359,6 +508,10 @@ void PbftReplica::enter_view(ViewNr v, SeqNr floor_hint, const std::vector<pbft:
     cancel_timer(vc_timer_);
     vc_timer_ = EventQueue::kInvalidEvent;
   }
+  if (batch_timer_ != EventQueue::kInvalidEvent) {
+    cancel_timer(batch_timer_);
+    batch_timer_ = EventQueue::kInvalidEvent;
+  }
   vc_timeout_cur_ = cfg_.view_change_timeout;
   floor_ = std::max(floor_, floor_hint);
   if (last_delivered_ < floor_) last_delivered_ = floor_;
@@ -370,15 +523,17 @@ void PbftReplica::enter_view(ViewNr v, SeqNr floor_hint, const std::vector<pbft:
   const std::uint32_t p_idx = primary_index(v);
 
   for (const pbft::PreparedProof& p : proposals) {
-    if (p.seq <= floor_) continue;
+    if (p.seq + p.covers() - 1 <= floor_) continue;
     Entry& e = log_[p.seq];
     e.view = v;
     e.has_preprepare = true;
-    e.request = p.request;
-    e.digest = pbft::request_digest(p.request);
+    e.requests = p.requests;
+    e.digest = pbft::batch_digest(p.requests);
     e.prepares.insert(p_idx);
-    if (!p.request.empty()) in_log_.insert(digest_prefix(e.digest));
-    next_seq_ = std::max(next_seq_, p.seq + 1);
+    for (const Bytes& req : e.requests) {
+      if (!req.empty()) in_log_.insert(digest_prefix(pbft::request_digest(req)));
+    }
+    next_seq_ = std::max(next_seq_, p.seq + p.covers());
 
     if (cfg_.my_index != p_idx) {
       e.prepare_sent = true;

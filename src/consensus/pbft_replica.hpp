@@ -2,6 +2,11 @@
 //
 // Features:
 //   - three-phase normal case (pre-prepare / prepare / commit)
+//   - request batching: the primary packs up to `max_batch` pending
+//     requests into one consensus instance, cutting a batch when it fills
+//     or when `batch_delay` expires. Sequence numbers keep counting
+//     logical requests — an instance covers [seq, seq + batch_size - 1] —
+//     so watermark windows and gc() stay request-granular
 //   - pipelined instances within a watermark window
 //   - view change + new view with prepared-certificate carry-over
 //   - pluggable vote weights (classic 2f+1 quorums, or WHEAT-style weighted
@@ -10,10 +15,9 @@
 //     gc(s), matching the paper's design where the consensus box is told
 //     to "collect garbage before s+1" (Fig. 17, L. 46)
 //
-// Simplifications vs. Castro-Liskov (documented in DESIGN.md): each order()
-// message is its own consensus instance (no request batching), and
-// view-change messages assert stable floors / prepared sets under the
-// sender's signature instead of carrying nested per-message proofs.
+// Simplifications vs. Castro-Liskov (documented in DESIGN.md): view-change
+// messages assert stable floors / prepared sets under the sender's
+// signature instead of carrying nested per-message proofs.
 #pragma once
 
 #include <deque>
@@ -36,7 +40,9 @@ struct PbftConfig {
   std::vector<std::uint32_t> weights;  // empty => all weight 1
   std::uint32_t quorum_weight = 0;     // 0 => 2f+1 (classic)
 
-  std::uint64_t window = 256;     // max in-flight instances above the floor
+  std::uint64_t window = 256;     // max in-flight *requests* above the floor
+  std::uint64_t max_batch = 1;    // requests packed into one instance
+  Duration batch_delay = 0;       // max wait for a batch to fill (0 = next tick)
   Duration request_timeout = 2 * kSecond;      // pending-request liveness timer
   Duration view_change_timeout = 4 * kSecond;  // time to complete a view change
 
@@ -51,7 +57,17 @@ struct PbftConfig {
 
 class PbftReplica : public Component, public Agreement {
  public:
+  /// Batch-granular delivery: one call per committed instance with the
+  /// logical seq of the first request. A null instance delivers a batch
+  /// holding a single empty request. Embedding layers that forward whole
+  /// batches downstream (Spider's commit channels) use this form; per-
+  /// request consumers use Agreement::DeliverFn and receive each request
+  /// of the batch as its own gap-free delivery.
+  using BatchDeliverFn = std::function<void(SeqNr first, const std::vector<Bytes>& batch)>;
+
   PbftReplica(ComponentHost& host, PbftConfig config, DeliverFn deliver,
+              std::uint32_t tag = tags::kPbft);
+  PbftReplica(ComponentHost& host, PbftConfig config, BatchDeliverFn deliver,
               std::uint32_t tag = tags::kPbft);
 
   // Agreement interface -------------------------------------------------
@@ -68,6 +84,8 @@ class PbftReplica : public Component, public Agreement {
   [[nodiscard]] SeqNr floor() const { return floor_; }
   [[nodiscard]] std::size_t pending_count() const { return pending_reqs_.size(); }
   [[nodiscard]] std::uint64_t view_changes_started() const { return vc_started_; }
+  [[nodiscard]] std::uint64_t batches_proposed() const { return batches_proposed_; }
+  [[nodiscard]] std::uint64_t requests_proposed() const { return requests_proposed_; }
 
   /// Optional request validator (A-Validity hook); invalid requests are
   /// not proposed or prepared. Default accepts everything.
@@ -81,26 +99,35 @@ class PbftReplica : public Component, public Agreement {
   struct Entry {
     ViewNr view = 0;
     bool has_preprepare = false;
-    Bytes request;
+    std::vector<Bytes> requests;  // empty = null request
     Sha256Digest digest{};
     std::set<std::uint32_t> prepares;  // replica indices incl. primary + self
     std::set<std::uint32_t> commits;
     bool prepare_sent = false;
     bool commit_sent = false;
     bool committed = false;
+
+    [[nodiscard]] SeqNr covers() const {
+      return requests.empty() ? 1 : static_cast<SeqNr>(requests.size());
+    }
   };
 
   [[nodiscard]] std::uint32_t primary_index(ViewNr v) const { return static_cast<std::uint32_t>(v % cfg_.n()); }
   [[nodiscard]] std::uint32_t weight(const std::set<std::uint32_t>& s) const;
   [[nodiscard]] std::optional<std::uint32_t> index_of(NodeId node) const;
   [[nodiscard]] bool in_window(SeqNr s) const { return s > floor_ && s <= floor_ + cfg_.window; }
+  /// Prepares/commits stay acceptable for an instance whose batch straddles
+  /// the floor (its tail is still undelivered here).
+  [[nodiscard]] bool instance_relevant(SeqNr s) const;
 
   void broadcast(BytesView inner, bool sign);
   bool check_mac(NodeId from, BytesView inner, BytesView tag_bytes);
   bool check_sig(NodeId from, BytesView inner, BytesView sig);
 
   void try_propose();
-  void propose(Bytes request);
+  void cut_batch();
+  void arm_batch_timer();
+  void propose(std::vector<Bytes> batch);
   void handle_preprepare(std::uint32_t from_idx, pbft::PrePrepareMsg m);
   void handle_prepare(std::uint32_t from_idx, pbft::PrepareMsg m);
   void handle_commit(std::uint32_t from_idx, pbft::CommitMsg m);
@@ -109,6 +136,7 @@ class PbftReplica : public Component, public Agreement {
 
   void maybe_send_commit(SeqNr s, Entry& e);
   void try_deliver();
+  void deliver_requests(SeqNr start, SeqNr from, const std::vector<Bytes>& requests);
   void start_view_change(ViewNr target);
   void maybe_complete_view_change(ViewNr target);
   void enter_view(ViewNr v, SeqNr floor_hint, const std::vector<pbft::PreparedProof>& proposals);
@@ -116,9 +144,12 @@ class PbftReplica : public Component, public Agreement {
   void cancel_request_timer(std::uint64_t digest_key);
   void note_delivered(std::uint64_t digest_key);
   [[nodiscard]] bool already_known(std::uint64_t digest_key) const;
+  /// Pops up to `limit` fresh pending requests (skipping stale queue keys).
+  std::vector<Bytes> take_pending(std::uint64_t limit);
 
   PbftConfig cfg_;
-  DeliverFn deliver_;
+  DeliverFn deliver_;             // per-request delivery (exactly one set)
+  BatchDeliverFn deliver_batch_;  // batch-granular delivery
 
   ViewNr view_ = 0;
   bool vc_active_ = false;
@@ -128,10 +159,13 @@ class PbftReplica : public Component, public Agreement {
   std::uint64_t vc_started_ = 0;
 
   SeqNr floor_ = 0;           // everything <= floor_ is garbage-collected
-  SeqNr next_seq_ = 1;        // next instance a primary assigns
+  SeqNr next_seq_ = 1;        // next logical seq a primary assigns
   SeqNr last_delivered_ = 0;  // highest delivered (or skipped) seq
+  std::uint64_t batches_proposed_ = 0;
+  std::uint64_t requests_proposed_ = 0;
+  EventQueue::EventId batch_timer_ = EventQueue::kInvalidEvent;
 
-  std::map<SeqNr, Entry> log_;
+  std::map<SeqNr, Entry> log_;  // keyed by the instance's first logical seq
   // Pending (undelivered) requests by digest key + FIFO proposal order.
   std::unordered_map<std::uint64_t, Bytes> pending_reqs_;
   std::deque<std::uint64_t> pending_order_;

@@ -27,8 +27,12 @@ AgreementReplica::AgreementReplica(World& world, Site site, AgreementConfig cfg)
   pc.request_timeout = cfg_.request_timeout;
   pc.view_change_timeout = cfg_.view_change_timeout;
   pc.window = cfg_.ag_win + cfg_.ka;  // consensus pipeline never below AG-WIN
+  pc.max_batch = cfg_.max_batch;
+  pc.batch_delay = cfg_.batch_delay;
   pbft_ = std::make_unique<PbftReplica>(
-      *this, pc, [this](SeqNr s, BytesView m) { on_deliver(s, m); });
+      *this, pc,
+      PbftReplica::BatchDeliverFn(
+          [this](SeqNr first, const std::vector<Bytes>& batch) { on_deliver(first, batch); }));
   pbft_->validate = [this](BytesView wire) { return validate_request(wire); };
 
   checkpointer_ = std::make_unique<Checkpointer>(
@@ -97,10 +101,10 @@ void AgreementReplica::setup_channel(const RegistryEntry& info, bool backfill) {
     // Give the new group the recent Execute history; everything older must
     // come from an execution checkpoint of another group (paper §3.6).
     Channel& nc = channels_.at(g);
-    for (const HistEntry& h : hist_) {
-      nc.commit_tx->send(0, h.seq, derive_for(g, h.execute).encode(), {});
+    for (const ExecuteBatchMsg& h : hist_) {
+      nc.commit_tx->send(0, h.first(), derive_for(g, h).encode(), {});
     }
-    nc.commit_tx->move_window(0, hist_.front().seq);
+    nc.commit_tx->move_window(0, hist_.front().first());
   }
 }
 
@@ -146,92 +150,110 @@ void AgreementReplica::start_pull_again(GroupId g, Subchannel c) {
   start_pull(g, c);
 }
 
-void AgreementReplica::on_deliver(SeqNr s, BytesView request) {
-  deliver_queue_.emplace_back(s, to_bytes(request));
+void AgreementReplica::on_deliver(SeqNr first, const std::vector<Bytes>& batch) {
+  deliver_queue_.emplace_back(first, batch);
   process_queue();
 }
 
 void AgreementReplica::process_queue() {
   while (!processing_ && !deliver_queue_.empty()) {
-    auto& [s, m] = deliver_queue_.front();
-    if (s > win_hi_) return;  // L. 27: sleep until the window allows
-    SeqNr seq = s;
-    Bytes request = std::move(m);
+    auto& [first, batch] = deliver_queue_.front();
+    if (first > win_hi_) return;  // L. 27: sleep until the window allows
+    SeqNr start = first;
+    std::vector<Bytes> requests = std::move(batch);
     deliver_queue_.pop_front();
     processing_ = true;
-    handle_ordered(seq, request);
+    handle_ordered(start, requests);
   }
 }
 
-void AgreementReplica::handle_ordered(SeqNr s, const Bytes& request) {
-  sn_ = s;
-  ExecuteMsg canonical;
-  canonical.seq = s;
+void AgreementReplica::handle_ordered(SeqNr first, const std::vector<Bytes>& batch) {
+  // One consensus instance = one Execute batch, forwarded atomically over
+  // every commit channel. Sequence numbers inside stay request-granular.
+  ExecuteBatchMsg canonical;
+  canonical.items.reserve(batch.size());
+  SeqNr s = first;
+  for (const Bytes& request : batch) {
+    ExecuteMsg x;
+    x.seq = s;
 
-  if (request.empty()) {
-    canonical.kind = ExecuteKind::Noop;
-  } else {
-    try {
-      Reader r(request);
-      RequestMsg req = RequestMsg::decode(r);
-      const ClientRequest& cr = req.frame.req;
-      canonical.origin = req.origin;
-      canonical.client = cr.client;
-      canonical.counter = cr.counter;
-      canonical.op_kind = cr.kind;
+    if (request.empty()) {
+      x.kind = ExecuteKind::Noop;
+    } else {
+      try {
+        Reader r(request);
+        RequestMsg req = RequestMsg::decode(r);
+        const ClientRequest& cr = req.frame.req;
+        x.origin = req.origin;
+        x.client = cr.client;
+        x.counter = cr.counter;
+        x.op_kind = cr.kind;
 
-      if (cr.counter <= t_[cr.client] && cr.kind != OpKind::Reconfig) {
-        // Old/duplicate request: replace with a no-op (Fig. 17, L. 30).
-        canonical.kind = ExecuteKind::Noop;
-      } else if (cr.kind == OpKind::Reconfig) {
-        Reader cmd_r(cr.op);
-        ReconfigCmd cmd = ReconfigCmd::decode(cmd_r);
-        apply_reconfig(cmd);
-        canonical.kind = ExecuteKind::Reconfig;
-        canonical.op = cr.op;
-        t_[cr.client] = cr.counter;
-        t_plus_[cr.client] = std::max(t_plus_[cr.client], cr.counter + 1);
-      } else {
-        canonical.kind = ExecuteKind::Full;
-        canonical.op = cr.op;
-        t_[cr.client] = cr.counter;
-        t_plus_[cr.client] = std::max(t_plus_[cr.client], cr.counter + 1);
+        if (cr.counter <= t_[cr.client] && cr.kind != OpKind::Reconfig) {
+          // Old/duplicate request: replace with a no-op (Fig. 17, L. 30).
+          x.kind = ExecuteKind::Noop;
+        } else if (cr.kind == OpKind::Reconfig) {
+          Reader cmd_r(cr.op);
+          ReconfigCmd cmd = ReconfigCmd::decode(cmd_r);
+          apply_reconfig(cmd);
+          x.kind = ExecuteKind::Reconfig;
+          x.op = cr.op;
+          t_[cr.client] = cr.counter;
+          t_plus_[cr.client] = std::max(t_plus_[cr.client], cr.counter + 1);
+        } else {
+          x.kind = ExecuteKind::Full;
+          x.op = cr.op;
+          t_[cr.client] = cr.counter;
+          t_plus_[cr.client] = std::max(t_plus_[cr.client], cr.counter + 1);
+        }
+      } catch (const SerdeError&) {
+        x.kind = ExecuteKind::Noop;
       }
-    } catch (const SerdeError&) {
-      canonical.kind = ExecuteKind::Noop;
     }
+    canonical.items.push_back(std::move(x));
+    ++s;
   }
+  sn_ = canonical.last();
 
-  hist_.push_back(HistEntry{s, canonical});
-  while (hist_.size() > cfg_.commit_capacity) hist_.pop_front();
+  hist_.push_back(canonical);
+  trim_hist();
 
   dispatch_execute(canonical, /*count_completions=*/true);
   maybe_checkpoint();
 }
 
-ExecuteMsg AgreementReplica::derive_for(GroupId g, const ExecuteMsg& canonical) const {
-  // Strong reads are executed only by the origin group; everyone else gets
-  // a placeholder carrying just (client, counter) (paper §3.3).
-  if (canonical.kind == ExecuteKind::Full && canonical.op_kind == OpKind::StrongRead &&
-      canonical.origin != g) {
-    ExecuteMsg ph = canonical;
-    ph.kind = ExecuteKind::Placeholder;
-    ph.op.clear();
-    return ph;
+void AgreementReplica::trim_hist() {
+  // Drop batches that lie entirely below the last |commit window| logical
+  // requests. A batch straddling the window edge is kept whole, so every
+  // retained position is reachable at its batch's stored IRMC position.
+  while (hist_.size() > 1 && hist_.front().last() + cfg_.commit_capacity <= sn_) {
+    hist_.pop_front();
   }
-  return canonical;
 }
 
-void AgreementReplica::dispatch_execute(const ExecuteMsg& canonical, bool count_completions) {
+ExecuteBatchMsg AgreementReplica::derive_for(GroupId g, const ExecuteBatchMsg& canonical) const {
+  // Strong reads are executed only by the origin group; everyone else gets
+  // a placeholder carrying just (client, counter) (paper §3.3).
+  ExecuteBatchMsg derived = canonical;
+  for (ExecuteMsg& x : derived.items) {
+    if (x.kind == ExecuteKind::Full && x.op_kind == OpKind::StrongRead && x.origin != g) {
+      x.kind = ExecuteKind::Placeholder;
+      x.op.clear();
+    }
+  }
+  return derived;
+}
+
+void AgreementReplica::dispatch_execute(const ExecuteBatchMsg& canonical, bool count_completions) {
   if (!count_completions) {
     for (auto& [g, ch] : channels_) {
-      ch.commit_tx->send(0, canonical.seq, derive_for(g, canonical).encode(), {});
+      ch.commit_tx->send(0, canonical.first(), derive_for(g, canonical).encode(), {});
     }
     return;
   }
 
   // Global flow control: resume processing once ne - z channels accepted
-  // the Execute; slow channels finish in the background (paper §3.5).
+  // the Execute batch; slow channels finish in the background (paper §3.5).
   std::size_t ne = channels_.size();
   std::size_t needed = ne > cfg_.z ? ne - cfg_.z : 0;
   auto done = std::make_shared<std::size_t>(0);
@@ -249,7 +271,7 @@ void AgreementReplica::dispatch_execute(const ExecuteMsg& canonical, bool count_
   };
   if (needed == 0) resume(false, 0);
   for (auto& [g, ch] : channels_) {
-    ch.commit_tx->send(0, canonical.seq, derive_for(g, canonical).encode(), resume);
+    ch.commit_tx->send(0, canonical.first(), derive_for(g, canonical).encode(), resume);
   }
 }
 
@@ -271,7 +293,11 @@ void AgreementReplica::apply_reconfig(const ReconfigCmd& cmd) {
 }
 
 void AgreementReplica::maybe_checkpoint() {
-  if (sn_ == 0 || sn_ % cfg_.ka != 0) return;
+  // `ka` counts logical requests, and checkpoints land on batch boundaries
+  // (sn_ only ever rests at the end of a processed batch), which keeps
+  // commit-channel window moves aligned with stored batch positions.
+  if (sn_ < last_cp_ + cfg_.ka) return;
+  last_cp_ = sn_;
   checkpointer_->gen_cp(sn_, snapshot_state());
 }
 
@@ -283,24 +309,19 @@ Bytes AgreementReplica::snapshot_state() const {
     w.u64(tc);
   }
   w.u32(static_cast<std::uint32_t>(hist_.size()));
-  for (const HistEntry& h : hist_) {
-    w.u64(h.seq);
-    w.bytes(h.execute.encode());
-  }
+  for (const ExecuteBatchMsg& h : hist_) w.bytes(h.encode());
   w.bytes(registry_.encode());
   return std::move(w).take();
 }
 
 void AgreementReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
-  // Move commit windows and let consensus collect garbage (Fig. 17, L. 42-46).
-  SeqNr hist_cap = cfg_.commit_capacity;
-  Position new_lo = s > hist_cap ? s - hist_cap + 1 : 1;
-  for (auto& [g, ch] : channels_) ch.commit_tx->move_window(0, new_lo);
+  // Let consensus collect garbage before s+1 (Fig. 17, L. 42-46).
   pbft_->gc(s + 1);
 
+  bool adopted = false;
+  SeqNr old_sn = sn_;
   if (s > sn_) {
     // This replica fell behind: adopt the checkpoint state (L. 47-56).
-    SeqNr old_sn = sn_;
     try {
       Reader r(state);
       std::uint32_t nt = r.u32();
@@ -310,13 +331,10 @@ void AgreementReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
         t2[c] = r.u64();
       }
       std::uint32_t nh = r.u32();
-      std::deque<HistEntry> hist2;
+      std::deque<ExecuteBatchMsg> hist2;
       for (std::uint32_t i = 0; i < nh; ++i) {
-        HistEntry h;
-        h.seq = r.u64();
         Reader er(r.bytes_view());
-        h.execute = ExecuteMsg::decode(er);
-        hist2.push_back(std::move(h));
+        hist2.push_back(ExecuteBatchMsg::decode(er));
       }
       Reader rr(r.bytes_view());
       RegistrySnapshot reg = RegistrySnapshot::decode(rr);
@@ -339,16 +357,26 @@ void AgreementReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
         }
         registry_ = std::move(reg);
       }
-      // Push the skipped Executes out on all commit channels (L. 52-55).
-      for (const HistEntry& h : hist_) {
-        if (h.seq > old_sn && h.seq <= s) dispatch_execute(h.execute, false);
-      }
+      adopted = true;
     } catch (const SerdeError&) {
       // A stable checkpoint is created by >= 1 correct replica; decode
       // failure here would indicate a local bug, not a Byzantine peer.
     }
   }
 
+  // Move commit windows to the oldest retained batch boundary so stored
+  // positions and window starts stay aligned.
+  Position new_lo = hist_.empty() ? s + 1 : hist_.front().first();
+  for (auto& [g, ch] : channels_) ch.commit_tx->move_window(0, new_lo);
+
+  if (adopted) {
+    // Push the skipped Execute batches out on all commit channels (L. 52-55).
+    for (const ExecuteBatchMsg& h : hist_) {
+      if (h.first() > old_sn && h.last() <= s) dispatch_execute(h, false);
+    }
+  }
+
+  last_cp_ = std::max(last_cp_, s);
   win_hi_ = s + cfg_.ag_win;
   process_queue();
 }

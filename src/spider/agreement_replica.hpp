@@ -29,8 +29,10 @@ struct AgreementConfig {
   std::uint32_t fa = 1;
   std::uint32_t fe = 1;                  // fe of execution groups (fr for commit channels)
   IrmcKind irmc_kind = IrmcKind::ReceiverCollect;
-  std::uint64_t ka = 16;                 // agreement checkpoint interval
-  std::uint64_t ag_win = 64;             // AG-WIN (>= ka)
+  std::uint64_t ka = 16;                 // agreement checkpoint interval (logical requests)
+  std::uint64_t ag_win = 64;             // AG-WIN (>= ka; counts logical requests)
+  std::uint64_t max_batch = 1;           // consensus requests per instance
+  Duration batch_delay = 0;              // max wait for a batch to fill
   std::uint32_t z = 0;                   // trailing groups that may be skipped
   Position commit_capacity = 64;
   Position request_capacity = 2;
@@ -60,22 +62,18 @@ class AgreementReplica : public ComponentHost {
     std::unique_ptr<IrmcReceiverEndpoint> request_rx;
     std::unique_ptr<IrmcSenderEndpoint> commit_tx;
   };
-  struct HistEntry {
-    SeqNr seq;
-    ExecuteMsg execute;  // canonical (full) version
-  };
-
   void setup_channel(const RegistryEntry& info, bool backfill);
   void remove_channel(GroupId g);
   void start_pull(GroupId g, Subchannel c);
   void start_pull_again(GroupId g, Subchannel c);
   bool validate_request(BytesView wire) const;
 
-  void on_deliver(SeqNr s, BytesView request);
+  void on_deliver(SeqNr first, const std::vector<Bytes>& batch);
   void process_queue();
-  void handle_ordered(SeqNr s, const Bytes& request);
-  void dispatch_execute(const ExecuteMsg& canonical, bool count_completions);
-  ExecuteMsg derive_for(GroupId g, const ExecuteMsg& canonical) const;
+  void handle_ordered(SeqNr first, const std::vector<Bytes>& batch);
+  void dispatch_execute(const ExecuteBatchMsg& canonical, bool count_completions);
+  ExecuteBatchMsg derive_for(GroupId g, const ExecuteBatchMsg& canonical) const;
+  void trim_hist();
   void apply_reconfig(const ReconfigCmd& cmd);
   void maybe_checkpoint();
   Bytes snapshot_state() const;
@@ -89,13 +87,17 @@ class AgreementReplica : public ComponentHost {
   RegistrySnapshot registry_;
 
   SeqNr sn_ = 0;
-  SeqNr win_hi_ = 0;  // upper bound of the agreement window
+  SeqNr last_cp_ = 0;  // seq of the last checkpoint this replica generated
+  SeqNr win_hi_ = 0;   // upper bound of the agreement window
   std::map<NodeId, std::uint64_t> t_;       // latest agreed counter per client
   std::map<NodeId, std::uint64_t> t_plus_;  // next expected counter per client
-  std::deque<HistEntry> hist_;              // last |commit window| Executes
+  /// Recent Execute batches covering the last |commit window| logical
+  /// sequence numbers; front is always a batch boundary so commit-channel
+  /// window moves stay aligned with batch positions.
+  std::deque<ExecuteBatchMsg> hist_;
   std::set<std::pair<GroupId, Subchannel>> pulling_;
 
-  std::deque<std::pair<SeqNr, Bytes>> deliver_queue_;
+  std::deque<std::pair<SeqNr, std::vector<Bytes>>> deliver_queue_;
   bool processing_ = false;
 };
 

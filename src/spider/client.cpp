@@ -60,6 +60,7 @@ void SpiderClient::start_next() {
   current_wire_ = ClientFrame{std::move(req), std::move(sig)}.encode();
   replies_.clear();
   current_start_ = now();
+  retry_cur_ = retry_;
   transmit_current();
 
   if (retry_timer_ != EventQueue::kInvalidEvent) cancel_timer(retry_timer_);
@@ -68,12 +69,15 @@ void SpiderClient::start_next() {
 
 void SpiderClient::arm_retry() {
   // Keep resending the in-flight request until fe+1 matching replies arrive
-  // (paper Fig. 15, L. 11-13).
-  retry_timer_ = set_timer(retry_, [this] {
+  // (paper Fig. 15, L. 11-13). The interval backs off exponentially (capped
+  // at 8x), so a batched/saturated system is not hammered with duplicates
+  // that would only be answered from the reply cache.
+  retry_timer_ = set_timer(retry_cur_, [this] {
     retry_timer_ = EventQueue::kInvalidEvent;
     if (!in_flight_) return;
     ++retries_;
     transmit_current();
+    retry_cur_ = std::min<Duration>(retry_cur_ * 2, 8 * retry_);
     arm_retry();
   });
 }

@@ -77,6 +77,7 @@ class SpiderClient : public ComponentHost {
 
   ClientGroupInfo group_;
   Duration retry_;
+  Duration retry_cur_ = 0;  // current backoff interval for the in-flight op
   std::uint64_t tc_ = 0;  // counter of the *current/last* ordered request
 
   // Ordered-op state.

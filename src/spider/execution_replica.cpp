@@ -117,12 +117,15 @@ void ExecutionReplica::handle_client(NodeId from, Reader& r) {
 }
 
 void ExecutionReplica::request_next_execute() {
+  // Batches are stored at the position of their first sequence number, and
+  // sn_ always rests on a batch boundary, so sn_ + 1 addresses the next
+  // stored batch.
   commit_rx_->receive(0, sn_ + 1, [this](RecvResult res) {
     if (!res.too_old) {
       try {
         Reader r(res.message);
-        ExecuteMsg x = ExecuteMsg::decode(r);
-        process_execute(x);
+        ExecuteBatchMsg batch = ExecuteBatchMsg::decode(r);
+        process_batch(batch);
       } catch (const SerdeError&) {
         // Channel contents are vouched for by fa+1 agreement replicas;
         // malformed content would indicate a local bug. Skip defensively.
@@ -141,6 +144,13 @@ void ExecutionReplica::request_next_execute() {
     waiting_checkpoint_ = true;
     checkpointer_->fetch_cp(res.window_start - 1);
   });
+}
+
+void ExecutionReplica::process_batch(const ExecuteBatchMsg& batch) {
+  // Apply the whole batch atomically (in one event, checkpointing only at
+  // the end), so a recovering replica never resumes mid-batch.
+  for (const ExecuteMsg& x : batch.items) process_execute(x);
+  maybe_checkpoint();
 }
 
 void ExecutionReplica::process_execute(const ExecuteMsg& x) {
@@ -187,8 +197,6 @@ void ExecutionReplica::process_execute(const ExecuteMsg& x) {
     case ExecuteKind::Noop:
       break;
   }
-
-  maybe_checkpoint();
 }
 
 void ExecutionReplica::reply_to(NodeId client, std::uint64_t counter, BytesView result,
@@ -207,7 +215,11 @@ void ExecutionReplica::reply_to(NodeId client, std::uint64_t counter, BytesView 
 }
 
 void ExecutionReplica::maybe_checkpoint() {
-  if (sn_ == 0 || sn_ % cfg_.ke != 0) return;
+  // `ke` counts logical requests; with batching sn_ may jump past an exact
+  // multiple, so checkpoint whenever a full interval has elapsed. sn_ is a
+  // batch boundary here, keeping checkpoints aligned with stored batches.
+  if (sn_ < last_cp_ + cfg_.ke) return;
+  last_cp_ = sn_;
   ++checkpoints_;
   checkpointer_->gen_cp(sn_, snapshot_state());
 }
@@ -252,6 +264,7 @@ void ExecutionReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
       return;  // defensive; see process_execute
     }
   }
+  last_cp_ = std::max(last_cp_, s);
   if (waiting_checkpoint_) {
     waiting_checkpoint_ = false;
     request_next_execute();

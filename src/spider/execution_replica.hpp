@@ -31,8 +31,8 @@ struct ExecutionConfig {
   std::uint32_t fe = 1;
   std::uint32_t fa = 1;
   IrmcKind irmc_kind = IrmcKind::ReceiverCollect;
-  std::uint64_t ke = 16;                // execution checkpoint interval
-  Position commit_capacity = 64;        // >= ke for liveness (paper §3.4)
+  std::uint64_t ke = 16;                // execution checkpoint interval (logical requests)
+  Position commit_capacity = 64;        // >= ke + max_batch for liveness (paper §3.4)
   Position request_capacity = 2;        // per-client subchannel (Fig. 16, L. 6)
   Duration progress_interval = 50 * kMillisecond;
   Duration collector_timeout = 300 * kMillisecond;
@@ -66,6 +66,7 @@ class ExecutionReplica : public ComponentHost {
  private:
   void handle_client(NodeId from, Reader& r);
   void request_next_execute();
+  void process_batch(const ExecuteBatchMsg& batch);
   void process_execute(const ExecuteMsg& x);
   void reply_to(NodeId client, std::uint64_t counter, BytesView result, bool weak);
   void maybe_checkpoint();
@@ -80,6 +81,7 @@ class ExecutionReplica : public ComponentHost {
   std::unique_ptr<Checkpointer> checkpointer_;
 
   SeqNr sn_ = 0;
+  SeqNr last_cp_ = 0;  // seq of the newest checkpoint (taken or adopted)
   struct ReplyCacheEntry {
     std::uint64_t counter = 0;
     Bytes result;

@@ -1,5 +1,7 @@
 #include "spider/messages.hpp"
 
+#include <algorithm>
+
 namespace spider {
 
 Bytes ClientRequest::encode() const {
@@ -71,6 +73,25 @@ ExecuteMsg ExecuteMsg::decode(Reader& r) {
   m.counter = r.u64();
   m.op_kind = static_cast<OpKind>(r.u8());
   m.op = r.bytes();
+  return m;
+}
+
+Bytes ExecuteBatchMsg::encode() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const ExecuteMsg& x : items) w.bytes(x.encode());
+  return std::move(w).take();
+}
+
+ExecuteBatchMsg ExecuteBatchMsg::decode(Reader& r) {
+  ExecuteBatchMsg m;
+  std::uint32_t n = r.u32();
+  if (n == 0) throw SerdeError("empty execute batch");
+  m.items.reserve(std::min<std::uint32_t>(n, 1024));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Reader xr(r.bytes_view());
+    m.items.push_back(ExecuteMsg::decode(xr));
+  }
   return m;
 }
 

@@ -71,6 +71,22 @@ struct ExecuteMsg {
   static ExecuteMsg decode(Reader& r);
 };
 
+/// Atomic unit flowing through a commit channel: every Execute decided by
+/// one consensus instance, stored at the IRMC position of its first
+/// sequence number. Execution replicas apply the whole batch in order
+/// before answering clients or checkpointing, so positions — like the
+/// flow-control windows above them — keep counting logical requests.
+struct ExecuteBatchMsg {
+  std::vector<ExecuteMsg> items;  // >= 1 entries with consecutive seqs
+
+  [[nodiscard]] SeqNr first() const { return items.front().seq; }
+  [[nodiscard]] SeqNr last() const { return items.back().seq; }
+  [[nodiscard]] SeqNr size() const { return static_cast<SeqNr>(items.size()); }
+
+  Bytes encode() const;
+  static ExecuteBatchMsg decode(Reader& r);
+};
+
 /// Replica -> client reply <Reply, u, tc>, MAC'd per client.
 struct ReplyMsg {
   std::uint64_t counter = 0;

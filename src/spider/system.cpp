@@ -94,6 +94,8 @@ SpiderSystem::SpiderSystem(World& world, SpiderTopology topology)
     cfg.irmc_kind = topo_.irmc_kind;
     cfg.ka = topo_.ka;
     cfg.ag_win = topo_.ag_win;
+    cfg.max_batch = topo_.max_batch;
+    cfg.batch_delay = topo_.batch_delay;
     cfg.z = topo_.z;
     cfg.commit_capacity = topo_.commit_capacity;
     cfg.request_capacity = topo_.request_capacity;

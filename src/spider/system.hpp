@@ -23,9 +23,15 @@ struct SpiderTopology {
                                       Region::Tokyo};
   IrmcKind irmc_kind = IrmcKind::ReceiverCollect;
 
-  std::uint64_t ka = 16;   // agreement checkpoint interval
-  std::uint64_t ke = 16;   // execution checkpoint interval
+  std::uint64_t ka = 16;   // agreement checkpoint interval (logical requests)
+  std::uint64_t ke = 16;   // execution checkpoint interval (logical requests)
   std::uint64_t ag_win = 64;
+  /// Request batching on the ordered-write hot path: the PBFT leader packs
+  /// up to `max_batch` requests into one consensus instance, waiting at
+  /// most `batch_delay` for a batch to fill. Checkpoint intervals and
+  /// flow-control windows keep counting logical requests, not batches.
+  std::uint64_t max_batch = 1;
+  Duration batch_delay = 0;
   Position commit_capacity = 64;
   Position request_capacity = 2;
   std::uint32_t z = 0;     // trailing groups that may be skipped

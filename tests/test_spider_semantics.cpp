@@ -72,7 +72,9 @@ TEST(SpiderSemantics, WeakReadsMayBeStaleButConverge) {
   // (one-copy serializability, not linearizability).
   KvReply immediate = f.weak(*reader, "x");
   // Either outcome is legal; what must NOT happen is a wrong value.
-  if (immediate.ok) EXPECT_EQ(to_string(immediate.value), "new");
+  if (immediate.ok) {
+    EXPECT_EQ(to_string(immediate.value), "new");
+  }
 
   // After propagation, the value is visible (convergence).
   f.world.run_for(2 * kSecond);

@@ -19,8 +19,10 @@ namespace {
 struct PbftParam {
   std::uint32_t f;
   std::uint32_t crashes;  // how many followers to crash (<= f)
+  std::uint64_t max_batch;
   std::string label() const {
-    return "f" + std::to_string(f) + "_crash" + std::to_string(crashes);
+    return "f" + std::to_string(f) + "_crash" + std::to_string(crashes) + "_mb" +
+           std::to_string(max_batch);
   }
 };
 
@@ -48,6 +50,8 @@ TEST_P(PbftSweep, TotalOrderWithCrashFaults) {
     cfg.replicas = ids;
     cfg.my_index = i;
     cfg.f = param.f;
+    cfg.max_batch = param.max_batch;
+    cfg.batch_delay = param.max_batch > 1 ? 5 * kMillisecond : 0;
     cfg.request_timeout = kSecond;
     cfg.view_change_timeout = 2 * kSecond;
     Host* h = hosts[i].get();
@@ -80,9 +84,18 @@ TEST_P(PbftSweep, TotalOrderWithCrashFaults) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Grid, PbftSweep,
-                         ::testing::Values(PbftParam{1, 0}, PbftParam{1, 1}, PbftParam{2, 0},
-                                           PbftParam{2, 2}, PbftParam{3, 0}, PbftParam{3, 3}),
+std::vector<PbftParam> pbft_grid() {
+  // Full cross product: every fault configuration also runs batched, so
+  // each invariant holds at max_batch 1 (legacy path), 4, and 16.
+  std::vector<PbftParam> grid;
+  for (const auto& [f, crashes] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {1, 0}, {1, 1}, {2, 0}, {2, 2}, {3, 0}, {3, 3}}) {
+    for (std::uint64_t mb : {1, 4, 16}) grid.push_back(PbftParam{f, crashes, mb});
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PbftSweep, ::testing::ValuesIn(pbft_grid()),
                          [](const ::testing::TestParamInfo<PbftParam>& info) {
                            return info.param.label();
                          });
@@ -176,9 +189,11 @@ INSTANTIATE_TEST_SUITE_P(
 struct SpiderParam {
   std::uint32_t fa, fe;
   IrmcKind kind;
+  std::uint64_t max_batch;
   std::string label() const {
     return "fa" + std::to_string(fa) + "_fe" + std::to_string(fe) +
-           (kind == IrmcKind::ReceiverCollect ? "_RC" : "_SC");
+           (kind == IrmcKind::ReceiverCollect ? "_RC" : "_SC") + "_mb" +
+           std::to_string(max_batch);
   }
 };
 
@@ -186,7 +201,7 @@ class SpiderSweep : public ::testing::TestWithParam<SpiderParam> {};
 
 TEST_P(SpiderSweep, EndToEndWriteReadAcrossConfigurations) {
   const SpiderParam p = GetParam();
-  World world(2000 + p.fa * 10 + p.fe);
+  World world(2000 + p.fa * 10 + p.fe + p.max_batch * 100);
   SpiderTopology topo;
   topo.fa = p.fa;
   topo.fe = p.fe;
@@ -195,6 +210,8 @@ TEST_P(SpiderSweep, EndToEndWriteReadAcrossConfigurations) {
   topo.ka = 8;
   topo.ke = 8;
   topo.commit_capacity = 16;
+  topo.max_batch = p.max_batch;
+  topo.batch_delay = p.max_batch > 1 ? 5 * kMillisecond : 0;
   SpiderSystem sys(world, topo);
 
   auto client = sys.make_client(Site{Region::Tokyo, 0});
@@ -202,15 +219,34 @@ TEST_P(SpiderSweep, EndToEndWriteReadAcrossConfigurations) {
   EXPECT_EQ(sys.agreement_size(), 3 * p.fa + 1);
   EXPECT_EQ(client->group().members.size(), 2 * p.fe + 1);
 
+  // Several clients write concurrently so batched configurations actually
+  // form multi-request batches (each client keeps one ordered op in
+  // flight); every write must succeed.
+  std::vector<std::unique_ptr<SpiderClient>> extra;
+  extra.push_back(sys.make_client(Site{Region::Virginia, 0}));
+  extra.push_back(sys.make_client(Site{Region::Virginia, 1}));
+  extra.push_back(sys.make_client(Site{Region::Tokyo, 1}));
+  std::size_t oks = 0;
+  std::size_t done = 0;
+  auto tally = [&](Bytes reply, Duration) {
+    if (kv_decode_reply(reply).ok) ++oks;
+    ++done;
+  };
+  const std::size_t kConcurrent = extra.size() + 1;
   bool ok = false;
   Duration lat = -1;
   client->write(kv_put("k", to_bytes(std::string("v"))), [&](Bytes reply, Duration l) {
     ok = kv_decode_reply(reply).ok;
     lat = l;
+    tally(std::move(reply), l);
   });
+  for (std::size_t c = 0; c < extra.size(); ++c) {
+    extra[c]->write(kv_put("x" + std::to_string(c), to_bytes(std::string("v"))), tally);
+  }
   Time deadline = world.now() + 30 * kSecond;
-  while (lat < 0 && world.now() < deadline) world.queue().run_next();
+  while (done < kConcurrent && world.now() < deadline) world.queue().run_next();
   ASSERT_TRUE(ok);
+  EXPECT_EQ(oks, kConcurrent);
 
   // Crash fe execution replicas + fa agreement replicas: still live.
   GroupId g = client->group().group;
@@ -231,14 +267,23 @@ TEST_P(SpiderSweep, EndToEndWriteReadAcrossConfigurations) {
   EXPECT_TRUE(ok) << "write must survive fa+fe crash faults";
 }
 
+std::vector<SpiderParam> spider_grid() {
+  std::vector<SpiderParam> grid;
+  for (const auto& base : std::vector<SpiderParam>{{1, 1, IrmcKind::ReceiverCollect, 0},
+                                                   {1, 2, IrmcKind::ReceiverCollect, 0},
+                                                   {2, 1, IrmcKind::ReceiverCollect, 0},
+                                                   {2, 2, IrmcKind::ReceiverCollect, 0},
+                                                   {1, 1, IrmcKind::SenderCollect, 0},
+                                                   {2, 2, IrmcKind::SenderCollect, 0}}) {
+    for (std::uint64_t mb : {1, 4, 16}) {
+      grid.push_back(SpiderParam{base.fa, base.fe, base.kind, mb});
+    }
+  }
+  return grid;
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    Grid, SpiderSweep,
-    ::testing::Values(SpiderParam{1, 1, IrmcKind::ReceiverCollect},
-                      SpiderParam{1, 2, IrmcKind::ReceiverCollect},
-                      SpiderParam{2, 1, IrmcKind::ReceiverCollect},
-                      SpiderParam{2, 2, IrmcKind::ReceiverCollect},
-                      SpiderParam{1, 1, IrmcKind::SenderCollect},
-                      SpiderParam{2, 2, IrmcKind::SenderCollect}),
+    Grid, SpiderSweep, ::testing::ValuesIn(spider_grid()),
     [](const ::testing::TestParamInfo<SpiderParam>& info) { return info.param.label(); });
 
 }  // namespace
