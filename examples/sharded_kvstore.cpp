@@ -1,0 +1,96 @@
+// Sharded geo-replicated KV store: the keyspace is hash-partitioned over
+// four independent Spider cores (one agreement group each), composed
+// behind ShardedClient routers. Clients in four regions issue a mixed
+// workload — routed writes, local weak reads, and one cross-shard MGET —
+// mirroring examples/geo_kvstore.cpp on the sharded deployment.
+//
+//   $ ./examples/example_sharded_kvstore
+#include <cstdio>
+#include <map>
+
+#include "shard/sharded_system.hpp"
+#include "sim/stats.hpp"
+#include "sim/world.hpp"
+
+using namespace spider;
+
+int main() {
+  const std::vector<Region> regions = {Region::Virginia, Region::Oregon, Region::Ireland,
+                                       Region::Tokyo};
+  World world(7);
+  ShardedTopology topo;  // 4 shards, each a full default Spider deployment
+  ShardedSpiderSystem sys(world, topo);
+
+  std::printf("Sharded Spider: %u cores, agreement groups all in %s,\n"
+              "execution groups in 4 regions per core\n\n",
+              sys.shard_count(), region_name(topo.base.agreement_region));
+
+  // Mixed read/write workload, 3 routed clients per region.
+  struct Ctx {
+    std::unique_ptr<ShardedClient> client;
+    Region region;
+    int remaining = 20;
+  };
+  std::vector<std::shared_ptr<Ctx>> ctxs;
+  std::map<Region, LatencyStats> writes, reads;
+  for (Region r : regions) {
+    for (int i = 0; i < 3; ++i) {
+      auto ctx = std::make_shared<Ctx>();
+      ctx->client = sys.make_client(Site{r, static_cast<std::uint8_t>(i)});
+      ctx->region = r;
+      ctxs.push_back(ctx);
+    }
+  }
+  std::function<void(std::shared_ptr<Ctx>)> step = [&](std::shared_ptr<Ctx> ctx) {
+    if (ctx->remaining-- <= 0) return;
+    // Distinct keys per step hash across all four shards.
+    std::string key = "key-" + std::to_string(ctx->client->shard_client(0).id()) + "-" +
+                      std::to_string(ctx->remaining % 4);
+    if (ctx->remaining % 2 == 0) {
+      ctx->client->put(key, Bytes(160, 0x42), [&, ctx](Bytes, Duration lat) {
+        writes[ctx->region].add(lat);
+        step(ctx);
+      });
+    } else {
+      ctx->client->weak_get(key, [&, ctx](Bytes, Duration lat) {
+        reads[ctx->region].add(lat);
+        step(ctx);
+      });
+    }
+  };
+  for (auto& ctx : ctxs) step(ctx);
+  world.run_for(120 * kSecond);
+
+  std::printf("  %-10s %14s %14s\n", "region", "write p50", "weak-read p50");
+  for (const auto& [region, w] : writes) {
+    auto it = reads.find(region);
+    std::printf("  %-10s %14s %14s\n", region_name(region), format_ms(w.median()).c_str(),
+                it != reads.end() ? format_ms(it->second.median()).c_str() : "-");
+  }
+
+  // Cross-shard MGET: one fan-out read over keys owned by different shards.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 8; ++i) keys.push_back("demo-" + std::to_string(i));
+  std::vector<std::pair<std::string, Bytes>> pairs;
+  for (const std::string& k : keys) pairs.emplace_back(k, Bytes(8, 0x11));
+
+  auto client = sys.make_client(Site{Region::Virginia, 0});
+  client->mput(pairs, [&](ShardedClient::MputResult res, Duration lat) {
+    std::printf("\nMPUT of %zu keys touched %zu shards in %s (atomic per shard only)\n",
+                keys.size(), res.shard_seqs.size(), format_ms(lat).c_str());
+    client->mget(keys, [&](std::vector<ShardedClient::MgetEntry> entries, Duration mlat) {
+      std::printf("MGET fan-out returned in %s:\n", format_ms(mlat).c_str());
+      for (const auto& e : entries) {
+        std::printf("  %-8s -> shard %u (seq %llu) %s\n", e.key.c_str(), e.shard,
+                    static_cast<unsigned long long>(e.shard_seq), e.ok ? "hit" : "miss");
+      }
+    });
+  });
+  world.run_for(10 * kSecond);
+
+  std::printf("\nEach shard orders writes in its own agreement group, so weak reads\n"
+              "stay region-local and aggregate write throughput scales with shards\n"
+              "(see ./micro_sharding); cross-shard MGET/MPUT are not atomic across\n"
+              "shards — per-key shard sequence numbers make the split visible.\n");
+  return 0;
+}

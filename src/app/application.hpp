@@ -18,9 +18,16 @@ class Application {
   /// Executes an operation that may modify state; returns the reply.
   virtual Bytes execute(BytesView op) = 0;
 
-  /// Executes a read-only operation against current state (weakly
+  /// Executes a read-only operation at an ordered position (strongly
   /// consistent reads); must not modify state.
   virtual Bytes execute_readonly(BytesView op) const = 0;
+
+  /// Executes a read-only operation on the unordered fast path (weak or
+  /// direct reads). Replicas answer from local state at *different* commit
+  /// positions and clients need byte-identical replies for a quorum, so
+  /// implementations must keep these replies free of global progress
+  /// counters that unrelated writes advance. Defaults to execute_readonly.
+  virtual Bytes execute_weak(BytesView op) const { return execute_readonly(op); }
 
   /// Serializes the full application state.
   virtual Bytes snapshot() const = 0;

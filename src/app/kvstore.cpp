@@ -28,6 +28,64 @@ Bytes kv_get(const std::string& key) { return encode_op(KvOp::Get, key, {}); }
 Bytes kv_del(const std::string& key) { return encode_op(KvOp::Del, key, {}); }
 Bytes kv_size() { return encode_op(KvOp::Size, "", {}); }
 
+Bytes kv_mget(const std::vector<std::string>& keys) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(KvOp::MGet));
+  w.u32(static_cast<std::uint32_t>(keys.size()));
+  for (const std::string& k : keys) w.str(k);
+  return std::move(w).take();
+}
+
+Bytes kv_mput(const std::vector<std::pair<std::string, Bytes>>& pairs) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(KvOp::MPut));
+  w.u32(static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& [k, v] : pairs) {
+    w.str(k);
+    w.bytes(v);
+  }
+  return std::move(w).take();
+}
+
+KvParsedOp kv_parse_op(BytesView op, bool with_values) {
+  Reader r(op);
+  KvParsedOp out;
+  out.kind = static_cast<KvOp>(r.u8());
+  auto value = [&] {
+    // bytes_view() walks past the payload without copying it.
+    if (with_values) out.values.push_back(to_bytes(r.bytes_view()));
+    else r.bytes_view();
+  };
+  switch (out.kind) {
+    case KvOp::Put: {
+      out.keys.push_back(r.str());
+      value();
+      break;
+    }
+    case KvOp::Get:
+    case KvOp::Del: {
+      out.keys.push_back(r.str());
+      break;
+    }
+    case KvOp::Size: break;
+    case KvOp::MGet: {
+      std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) out.keys.push_back(r.str());
+      break;
+    }
+    case KvOp::MPut: {
+      std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        out.keys.push_back(r.str());
+        value();
+      }
+      break;
+    }
+    default: throw SerdeError("unknown KV opcode");
+  }
+  return out;
+}
+
 KvReply kv_decode_reply(BytesView reply) {
   Reader r(reply);
   KvReply out;
@@ -36,26 +94,55 @@ KvReply kv_decode_reply(BytesView reply) {
   return out;
 }
 
-Bytes KvStore::apply(BytesView op, bool allow_mutation) {
+KvMputReply kv_decode_mput_reply(BytesView reply) {
+  KvReply raw = kv_decode_reply(reply);
+  Reader r(raw.value);
+  KvMputReply out;
+  out.ok = raw.ok;
+  out.shard_seq = r.u64();
+  return out;
+}
+
+KvMgetReply kv_decode_mget_reply(BytesView reply) {
+  KvReply raw = kv_decode_reply(reply);
+  Reader r(raw.value);
+  KvMgetReply out;
+  out.shard_seq = r.u64();
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    KvReply e;
+    e.ok = r.u8() == 1;
+    e.value = r.bytes();
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+Bytes KvStore::apply(BytesView op, Mode mode) {
   Reader r(op);
   auto kind = static_cast<KvOp>(r.u8());
-  std::string key = r.str();
-  BytesView value = r.bytes_view();
+  const bool allow_mutation = mode == Mode::Mutate;
 
   switch (kind) {
     case KvOp::Put: {
+      std::string key = r.str();
+      BytesView value = r.bytes_view();
       if (!allow_mutation) return make_reply(false, {});
       data_[key] = to_bytes(value);
+      ++version_;
       return make_reply(true, {});
     }
     case KvOp::Get: {
+      std::string key = r.str();
       auto it = data_.find(key);
       if (it == data_.end()) return make_reply(false, {});
       return make_reply(true, it->second);
     }
     case KvOp::Del: {
+      std::string key = r.str();
       if (!allow_mutation) return make_reply(false, {});
       bool existed = data_.erase(key) > 0;
+      ++version_;
       return make_reply(existed, {});
     }
     case KvOp::Size: {
@@ -63,19 +150,54 @@ Bytes KvStore::apply(BytesView op, bool allow_mutation) {
       w.u64(data_.size());
       return make_reply(true, w.data());
     }
+    case KvOp::MGet: {
+      std::uint32_t n = r.u32();
+      Writer w;
+      // Ordered MGets report the shard's mutation count for read-your-writes
+      // checks (every replica reads at the same logical position). The weak
+      // fast path reports 0: replicas answering at different commit
+      // positions would otherwise never produce the fe+1 byte-identical
+      // replies the client quorum needs while *any* key on the shard is
+      // being written.
+      w.u64(mode == Mode::WeakRead ? 0 : version_);
+      w.u32(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        auto it = data_.find(r.str());
+        w.u8(it != data_.end() ? 1 : 0);
+        w.bytes(it != data_.end() ? BytesView(it->second) : BytesView{});
+      }
+      return make_reply(true, w.data());
+    }
+    case KvOp::MPut: {
+      std::uint32_t n = r.u32();
+      if (!allow_mutation) return make_reply(false, {});
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string key = r.str();
+        data_[key] = r.bytes();
+      }
+      ++version_;  // one ordered mutation, regardless of key count
+      Writer w;
+      w.u64(version_);
+      return make_reply(true, w.data());
+    }
   }
   throw SerdeError("unknown KV opcode");
 }
 
-Bytes KvStore::execute(BytesView op) { return apply(op, /*allow_mutation=*/true); }
+Bytes KvStore::execute(BytesView op) { return apply(op, Mode::Mutate); }
 
 Bytes KvStore::execute_readonly(BytesView op) const {
-  // const_cast is safe: apply() with allow_mutation=false never writes.
-  return const_cast<KvStore*>(this)->apply(op, /*allow_mutation=*/false);
+  // const_cast is safe: apply() in a read mode never writes.
+  return const_cast<KvStore*>(this)->apply(op, Mode::OrderedRead);
+}
+
+Bytes KvStore::execute_weak(BytesView op) const {
+  return const_cast<KvStore*>(this)->apply(op, Mode::WeakRead);
 }
 
 Bytes KvStore::snapshot() const {
   Writer w;
+  w.u64(version_);
   w.u32(static_cast<std::uint32_t>(data_.size()));
   for (const auto& [key, value] : data_) {
     w.str(key);
@@ -86,6 +208,7 @@ Bytes KvStore::snapshot() const {
 
 void KvStore::restore(BytesView snapshot) {
   Reader r(snapshot);
+  std::uint64_t version = r.u64();
   std::map<std::string, Bytes> next;
   std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -94,6 +217,7 @@ void KvStore::restore(BytesView snapshot) {
   }
   r.expect_done();
   data_ = std::move(next);
+  version_ = version;
 }
 
 std::unique_ptr<Application> KvStore::clone_empty() const { return std::make_unique<KvStore>(); }

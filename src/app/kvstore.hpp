@@ -1,23 +1,39 @@
 // Deterministic key-value store — the application used throughout the
 // paper's evaluation (clients issue 200-byte writes/reads against a KV
-// store).
+// store). Multi-key operations (MGet/MPut) act atomically *within* one
+// store instance; the sharded router fans them out per shard, so across
+// shards they are not atomic.
 #pragma once
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "app/application.hpp"
 
 namespace spider {
 
 /// Operations understood by the KV store.
-enum class KvOp : std::uint8_t { Put = 1, Get = 2, Del = 3, Size = 4 };
+enum class KvOp : std::uint8_t { Put = 1, Get = 2, Del = 3, Size = 4, MGet = 5, MPut = 6 };
 
 /// Builds encoded KV operations (client-side helpers).
 Bytes kv_put(const std::string& key, BytesView value);
 Bytes kv_get(const std::string& key);
 Bytes kv_del(const std::string& key);
 Bytes kv_size();
+Bytes kv_mget(const std::vector<std::string>& keys);
+Bytes kv_mput(const std::vector<std::pair<std::string, Bytes>>& pairs);
+
+/// Decoded view of an encoded KV operation: the opcode plus every key (and,
+/// for Put/MPut, the parallel value list). Shared between the store itself
+/// and the cross-shard router, which must know the keys to pick a shard.
+/// Routing-only callers pass with_values = false to skip copying payloads.
+struct KvParsedOp {
+  KvOp kind = KvOp::Get;
+  std::vector<std::string> keys;  // empty for Size
+  std::vector<Bytes> values;      // parallel to keys for Put/MPut
+};
+KvParsedOp kv_parse_op(BytesView op, bool with_values = true);
 
 /// Reply decoding: status byte (1 = found/ok, 0 = missing) + value bytes.
 struct KvReply {
@@ -26,19 +42,44 @@ struct KvReply {
 };
 KvReply kv_decode_reply(BytesView reply);
 
+/// MPut reply: success flag + the shard sequence number (count of mutating
+/// ops this store has applied) right after the MPut took effect.
+struct KvMputReply {
+  bool ok = false;
+  std::uint64_t shard_seq = 0;
+};
+KvMputReply kv_decode_mput_reply(BytesView reply);
+
+/// MGet reply: the shard sequence number observed by the read plus one
+/// (ok, value) entry per requested key, in request order. Only ordered
+/// (strong) MGets carry a real shard_seq; the weak fast path reports 0,
+/// so its replies stay quorum-matchable under concurrent writes.
+struct KvMgetReply {
+  std::uint64_t shard_seq = 0;
+  std::vector<KvReply> entries;
+};
+KvMgetReply kv_decode_mget_reply(BytesView reply);
+
 class KvStore : public Application {
  public:
   Bytes execute(BytesView op) override;
   Bytes execute_readonly(BytesView op) const override;
+  Bytes execute_weak(BytesView op) const override;
   Bytes snapshot() const override;
   void restore(BytesView snapshot) override;
   std::unique_ptr<Application> clone_empty() const override;
 
   [[nodiscard]] std::size_t size() const { return data_.size(); }
+  /// Shard sequence number: mutating ops applied so far. Identical across
+  /// replicas of one shard (writes execute at every group), which is what
+  /// lets clients check read-your-writes per shard.
+  [[nodiscard]] std::uint64_t shard_seq() const { return version_; }
 
  private:
-  Bytes apply(BytesView op, bool allow_mutation);
+  enum class Mode { Mutate, OrderedRead, WeakRead };
+  Bytes apply(BytesView op, Mode mode);
   std::map<std::string, Bytes> data_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace spider

@@ -86,7 +86,7 @@ void BftReplica::handle_client(NodeId from, Reader& r) {
     // need f+1 matching replies, strong reads 2f+1 (both requiring a WAN
     // quorum in this architecture — the point of paper Figure 8).
     charge(kExecCost);
-    Bytes result = app_->execute_readonly(req.op);
+    Bytes result = app_->execute_weak(req.op);
     reply_to(from, req.counter, result, true);
     return;
   }

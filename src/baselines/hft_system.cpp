@@ -134,7 +134,7 @@ void HftReplica::handle_client(NodeId from, Reader& r) {
 
   if (req.kind == OpKind::WeakRead) {
     charge(kExecCost);
-    Bytes result = app_->execute_readonly(req.op);
+    Bytes result = app_->execute_weak(req.op);
     reply_to(from, req.counter, result, true);
     return;
   }

@@ -1,0 +1,96 @@
+#include "shard/shard_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spider {
+
+std::uint64_t ShardMap::hash_key(std::string_view key) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  // FNV-1a mixes its low bits well but not the high ones, and the range
+  // table partitions on the high end — finish with murmur3's fmix64 so
+  // similar short keys spread over all ranges.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+ShardMap ShardMap::uniform(std::uint32_t shards) {
+  if (shards == 0) throw std::invalid_argument("ShardMap: shards must be >= 1");
+  ShardMap m;
+  m.shards_ = shards;
+  m.version_ = 1;
+  const std::uint64_t step = ~std::uint64_t{0} / shards;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    m.ranges_.push_back(ShardRange{step * s, s});
+  }
+  return m;
+}
+
+std::uint32_t ShardMap::shard_of_hash(std::uint64_t h) const {
+  // Last range whose start <= h. ranges_ is sorted with ranges_[0].start == 0.
+  auto it = std::upper_bound(ranges_.begin(), ranges_.end(), h,
+                             [](std::uint64_t v, const ShardRange& r) { return v < r.start; });
+  return std::prev(it)->shard;
+}
+
+void ShardMap::check(const std::vector<ShardRange>& ranges, std::uint32_t shards) {
+  if (ranges.empty()) throw std::invalid_argument("ShardMap: ranges must not be empty");
+  if (ranges.front().start != 0) {
+    throw std::invalid_argument("ShardMap: first range must start at 0");
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (i > 0 && ranges[i].start <= ranges[i - 1].start) {
+      throw std::invalid_argument("ShardMap: range starts must be strictly increasing");
+    }
+    if (ranges[i].shard >= shards) {
+      throw std::invalid_argument("ShardMap: range references unknown shard");
+    }
+  }
+}
+
+void ShardMap::set_ranges(std::vector<ShardRange> ranges, std::uint64_t version) {
+  check(ranges, shards_);
+  if (version <= version_) {
+    throw std::invalid_argument("ShardMap: version must be strictly newer");
+  }
+  ranges_ = std::move(ranges);
+  version_ = version;
+}
+
+Bytes ShardMap::encode() const {
+  Writer w;
+  w.u64(version_);
+  w.u32(shards_);
+  w.u32(static_cast<std::uint32_t>(ranges_.size()));
+  for (const ShardRange& r : ranges_) {
+    w.u64(r.start);
+    w.u32(r.shard);
+  }
+  return std::move(w).take();
+}
+
+ShardMap ShardMap::decode(Reader& r) {
+  ShardMap m;
+  m.version_ = r.u64();
+  m.shards_ = r.u32();
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ShardRange range;
+    range.start = r.u64();
+    range.shard = r.u32();
+    m.ranges_.push_back(range);
+  }
+  if (m.shards_ == 0) throw std::invalid_argument("ShardMap: shards must be >= 1");
+  check(m.ranges_, m.shards_);
+  return m;
+}
+
+}  // namespace spider

@@ -1,0 +1,60 @@
+// Keyspace partition table (the sharding subsystem's source of truth).
+//
+// The KV keyspace is split into explicit, contiguous hash ranges over the
+// 64-bit FNV-1a hash of the key; each range is owned by exactly one shard
+// (one independent Spider core with its own agreement group). The table is
+// versioned so a future rebalance can ship a replacement table through the
+// §3.6 admin path: routers compare versions and adopt the newer table.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serde.hpp"
+
+namespace spider {
+
+/// One partition: owns hashes in [start, next range's start), the last
+/// range extending to the top of the 64-bit hash space.
+struct ShardRange {
+  std::uint64_t start = 0;   // inclusive lower bound of the hash range
+  std::uint32_t shard = 0;   // owning shard index, < shard_count()
+};
+
+class ShardMap {
+ public:
+  /// Equal-width partition of the hash space over `shards` shards,
+  /// version 1. Throws std::invalid_argument for shards == 0.
+  static ShardMap uniform(std::uint32_t shards);
+
+  /// Deterministic key hash (FNV-1a 64) shared by every router.
+  static std::uint64_t hash_key(std::string_view key);
+
+  [[nodiscard]] std::uint32_t shard_of(std::string_view key) const {
+    return shard_of_hash(hash_key(key));
+  }
+  [[nodiscard]] std::uint32_t shard_of_hash(std::uint64_t h) const;
+
+  [[nodiscard]] std::uint32_t shard_count() const { return shards_; }
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] const std::vector<ShardRange>& ranges() const { return ranges_; }
+
+  /// Installs a rebalanced table. The new ranges must cover the full hash
+  /// space (first start == 0, strictly increasing starts), reference only
+  /// valid shards, and carry a strictly newer version.
+  void set_ranges(std::vector<ShardRange> ranges, std::uint64_t version);
+
+  Bytes encode() const;
+  static ShardMap decode(Reader& r);
+
+ private:
+  ShardMap() = default;
+  static void check(const std::vector<ShardRange>& ranges, std::uint32_t shards);
+
+  std::uint32_t shards_ = 0;
+  std::uint64_t version_ = 0;
+  std::vector<ShardRange> ranges_;
+};
+
+}  // namespace spider

@@ -1,0 +1,160 @@
+#include "shard/sharded_client.hpp"
+
+#include <stdexcept>
+
+#include "sim/world.hpp"
+
+namespace spider {
+
+namespace {
+/// Shared fan-out/merge scaffold: per-shard replies fill `result`, and the
+/// user callback fires when the last involved shard answers (latency =
+/// slowest shard's completion).
+template <typename Result, typename Cb>
+struct FanOut {
+  Result result;
+  std::size_t pending = 0;
+  Time start = 0;
+  Cb cb;
+
+  void finish(World& world) {
+    if (--pending == 0) cb(std::move(result), world.now() - start);
+  }
+};
+
+template <typename Result, typename Cb>
+auto make_fanout(World& world, std::size_t pending, Result result, Cb cb) {
+  auto fan = std::make_shared<FanOut<Result, Cb>>();
+  fan->result = std::move(result);
+  fan->pending = pending;
+  fan->start = world.now();
+  fan->cb = std::move(cb);
+  return fan;
+}
+}  // namespace
+
+ShardedClient::ShardedClient(World& world, ShardMap map,
+                             std::vector<std::unique_ptr<SpiderClient>> subclients)
+    : world_(world), map_(std::move(map)), subclients_(std::move(subclients)) {
+  if (subclients_.size() != map_.shard_count()) {
+    throw std::invalid_argument("ShardedClient: one subclient per shard required");
+  }
+}
+
+std::uint32_t ShardedClient::route_op(BytesView op) const {
+  KvParsedOp parsed = kv_parse_op(op, /*with_values=*/false);  // keys suffice for routing
+  if (parsed.keys.empty()) {
+    throw std::invalid_argument("ShardedClient: op has no routing key");
+  }
+  std::uint32_t shard = map_.shard_of(parsed.keys.front());
+  for (const std::string& k : parsed.keys) {
+    if (map_.shard_of(k) != shard) {
+      throw std::invalid_argument("ShardedClient: keys span shards (use mget/mput)");
+    }
+  }
+  return shard;
+}
+
+void ShardedClient::write(Bytes op, OpCallback cb) {
+  std::uint32_t s = route_op(op);
+  subclients_[s]->write(std::move(op), std::move(cb));
+}
+
+void ShardedClient::strong_read(Bytes op, OpCallback cb) {
+  std::uint32_t s = route_op(op);
+  subclients_[s]->strong_read(std::move(op), std::move(cb));
+}
+
+void ShardedClient::weak_read(Bytes op, OpCallback cb) {
+  std::uint32_t s = route_op(op);
+  subclients_[s]->weak_read(std::move(op), std::move(cb));
+}
+
+std::map<std::uint32_t, std::vector<std::size_t>> ShardedClient::group_by_shard(
+    const std::vector<std::string>& keys) const {
+  std::map<std::uint32_t, std::vector<std::size_t>> by_shard;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    by_shard[map_.shard_of(keys[i])].push_back(i);
+  }
+  return by_shard;
+}
+
+void ShardedClient::mget(const std::vector<std::string>& keys, MgetCallback cb, bool weak) {
+  auto by_shard = group_by_shard(keys);
+  std::vector<MgetEntry> entries(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) entries[i].key = keys[i];
+  if (by_shard.empty()) {
+    cb(std::move(entries), 0);
+    return;
+  }
+
+  auto fan = make_fanout(world_, by_shard.size(), std::move(entries), std::move(cb));
+  for (auto& [shard, indices] : by_shard) {
+    std::vector<std::string> shard_keys;
+    for (std::size_t i : indices) shard_keys.push_back(keys[i]);
+    Bytes op = kv_mget(shard_keys);
+    auto on_reply = [this, fan, shard = shard, indices = indices](Bytes reply, Duration) {
+      KvMgetReply decoded = kv_decode_mget_reply(reply);
+      if (decoded.entries.size() != indices.size()) {
+        // A quorum-accepted reply with the wrong shape is encoder/decoder
+        // drift on our side, not a miss — surface it instead of reporting
+        // the unanswered keys as absent.
+        throw std::logic_error("ShardedClient: mget reply entry count mismatch");
+      }
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        MgetEntry& e = fan->result[indices[j]];
+        e.ok = decoded.entries[j].ok;
+        e.value = std::move(decoded.entries[j].value);
+        e.shard = shard;
+        e.shard_seq = decoded.shard_seq;
+      }
+      fan->finish(world_);
+    };
+    if (weak) {
+      subclients_[shard]->weak_read(std::move(op), std::move(on_reply));
+    } else {
+      subclients_[shard]->strong_read(std::move(op), std::move(on_reply));
+    }
+  }
+}
+
+void ShardedClient::mput(const std::vector<std::pair<std::string, Bytes>>& pairs,
+                         MputCallback cb) {
+  std::map<std::uint32_t, std::vector<std::pair<std::string, Bytes>>> by_shard;
+  for (const auto& [k, v] : pairs) by_shard[map_.shard_of(k)].emplace_back(k, v);
+  if (by_shard.empty()) {
+    cb(MputResult{}, 0);
+    return;
+  }
+
+  auto fan = make_fanout(world_, by_shard.size(), MputResult{}, std::move(cb));
+  for (auto& [shard, shard_pairs] : by_shard) {
+    subclients_[shard]->write(kv_mput(shard_pairs),
+                              [this, fan, shard = shard](Bytes reply, Duration) {
+      KvMputReply decoded = kv_decode_mput_reply(reply);
+      fan->result.ok = fan->result.ok && decoded.ok;
+      fan->result.shard_seqs[shard] = decoded.shard_seq;
+      fan->finish(world_);
+    });
+  }
+}
+
+void ShardedClient::size(SizeCallback cb) {
+  auto fan = make_fanout(world_, subclients_.size(), std::uint64_t{0}, std::move(cb));
+  for (auto& sub : subclients_) {
+    sub->strong_read(kv_size(), [this, fan](Bytes reply, Duration) {
+      KvReply decoded = kv_decode_reply(reply);  // keep the value bytes alive
+      Reader r(decoded.value);
+      fan->result += r.u64();
+      fan->finish(world_);
+    });
+  }
+}
+
+std::uint64_t ShardedClient::retries() const {
+  std::uint64_t total = 0;
+  for (const auto& sub : subclients_) total += sub->retries();
+  return total;
+}
+
+}  // namespace spider

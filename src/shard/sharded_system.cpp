@@ -1,0 +1,61 @@
+#include "shard/sharded_system.hpp"
+
+#include <stdexcept>
+
+#include "sim/world.hpp"
+
+namespace spider {
+
+void validate_topology(const ShardedTopology& t) {
+  if (t.shards == 0) {
+    throw std::invalid_argument("ShardedTopology.shards must be >= 1");
+  }
+  if (t.group_id_stride < t.base.exec_regions.size() + 1) {
+    throw std::invalid_argument(
+        "ShardedTopology.group_id_stride too small for base.exec_regions");
+  }
+  validate_topology(t.base);
+}
+
+ShardedTopology ShardedSpiderSystem::checked(ShardedTopology t) {
+  validate_topology(t);
+  return t;
+}
+
+ShardedSpiderSystem::ShardedSpiderSystem(World& world, ShardedTopology topology)
+    : world_(world),
+      topo_(checked(std::move(topology))),
+      map_(ShardMap::uniform(topo_.shards)) {
+  for (std::uint32_t s = 0; s < topo_.shards; ++s) {
+    SpiderTopology core_topo = topo_.base;
+    core_topo.first_group_id = 1 + static_cast<GroupId>(s) * topo_.group_id_stride;
+    cores_.push_back(std::make_unique<SpiderSystem>(world_, std::move(core_topo)));
+  }
+}
+
+std::unique_ptr<ShardedClient> ShardedSpiderSystem::make_client(Site site) {
+  std::vector<std::unique_ptr<SpiderClient>> subs;
+  for (auto& core : cores_) subs.push_back(core->make_client(site));
+  return std::make_unique<ShardedClient>(world_, map_, std::move(subs));
+}
+
+GroupId ShardedSpiderSystem::add_group(std::uint32_t shard, Region region,
+                                       std::function<void()> done) {
+  SpiderSystem& core = *cores_.at(shard);
+  // A core that outgrows its stride would reuse another core's GroupIds,
+  // silently breaking the cross-core disjointness the channel/checkpoint
+  // tags rely on — fail loudly instead.
+  GroupId end = 1 + (static_cast<GroupId>(shard) + 1) * topo_.group_id_stride;
+  if (core.next_group_id() >= end) {
+    throw std::runtime_error("ShardedSpiderSystem: shard exhausted its GroupId range "
+                             "(raise ShardedTopology.group_id_stride)");
+  }
+  return core.add_group(region, std::move(done));
+}
+
+void ShardedSpiderSystem::remove_group(std::uint32_t shard, GroupId g,
+                                       std::function<void()> done) {
+  cores_.at(shard)->remove_group(g, std::move(done));
+}
+
+}  // namespace spider

@@ -28,7 +28,10 @@ const Bytes* matching_quorum(const std::map<NodeId, Bytes>& replies, std::uint32
 }  // namespace
 
 SpiderClient::SpiderClient(World& world, Site site, ClientGroupInfo group, Duration retry)
-    : ComponentHost(world, world.allocate_id(), site), group_(std::move(group)), retry_(retry) {}
+    : ComponentHost(world, world.allocate_id(), site),
+      group_(std::move(group)),
+      retry_(retry),
+      rng_(world.rng().fork()) {}
 
 void SpiderClient::switch_group(ClientGroupInfo group) {
   group_ = std::move(group);
@@ -67,17 +70,26 @@ void SpiderClient::start_next() {
   arm_retry();
 }
 
+Duration SpiderClient::retry_jitter(Duration base) {
+  // Deterministic per-client jitter (up to base/4) from a stream forked off
+  // the sim RNG: many clients whose requests got dropped together spread
+  // their retransmits out instead of staying phase-locked in a retry storm.
+  return static_cast<Duration>(rng_.uniform(static_cast<std::uint64_t>(base / 4) + 1));
+}
+
 void SpiderClient::arm_retry() {
   // Keep resending the in-flight request until fe+1 matching replies arrive
-  // (paper Fig. 15, L. 11-13). The interval backs off exponentially (capped
-  // at 8x), so a batched/saturated system is not hammered with duplicates
-  // that would only be answered from the reply cache.
-  retry_timer_ = set_timer(retry_cur_, [this] {
+  // (paper Fig. 15, L. 11-13). The interval backs off exponentially — but
+  // capped at kRetryBackoffCap x the base interval, so a recovering system
+  // is reprobed within bounded time — and jittered, so a batched/saturated
+  // system is not hammered with synchronized duplicates that would only be
+  // answered from the reply cache.
+  retry_timer_ = set_timer(retry_cur_ + retry_jitter(retry_cur_), [this] {
     retry_timer_ = EventQueue::kInvalidEvent;
     if (!in_flight_) return;
     ++retries_;
     transmit_current();
-    retry_cur_ = std::min<Duration>(retry_cur_ * 2, 8 * retry_);
+    retry_cur_ = std::min<Duration>(retry_cur_ * 2, kRetryBackoffCap * retry_);
     arm_retry();
   });
 }
@@ -112,7 +124,7 @@ void SpiderClient::start_weak() {
 }
 
 void SpiderClient::arm_weak_retry() {
-  weak_retry_timer_ = set_timer(retry_, [this] {
+  weak_retry_timer_ = set_timer(retry_ + retry_jitter(retry_), [this] {
     weak_retry_timer_ = EventQueue::kInvalidEvent;
     if (weak_in_flight_) {
       ++retries_;

@@ -9,6 +9,7 @@
 #include <deque>
 #include <map>
 
+#include "common/rng.hpp"
 #include "sim/component.hpp"
 #include "spider/messages.hpp"
 
@@ -29,6 +30,10 @@ class SpiderClient : public ComponentHost {
  public:
   /// cb(result bytes, response time).
   using OpCallback = std::function<void(Bytes result, Duration latency)>;
+
+  /// Retransmit backoff ceiling: the interval doubles per retry but never
+  /// exceeds kRetryBackoffCap x the base retry interval.
+  static constexpr Duration kRetryBackoffCap = 8;
 
   SpiderClient(World& world, Site site, ClientGroupInfo group,
                Duration retry = 2 * kSecond);
@@ -68,6 +73,7 @@ class SpiderClient : public ComponentHost {
 
   void submit_ordered(OpKind kind, Bytes op, OpCallback cb);
   void start_next();
+  Duration retry_jitter(Duration base);
   void arm_retry();
   void transmit_current();
   void start_weak();
@@ -77,6 +83,7 @@ class SpiderClient : public ComponentHost {
 
   ClientGroupInfo group_;
   Duration retry_;
+  Rng rng_;                 // per-client stream for retransmit jitter
   Duration retry_cur_ = 0;  // current backoff interval for the in-flight op
   std::uint64_t tc_ = 0;  // counter of the *current/last* ordered request
 

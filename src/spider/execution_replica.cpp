@@ -90,7 +90,7 @@ void ExecutionReplica::handle_client(NodeId from, Reader& r) {
   if (req.kind == OpKind::WeakRead) {
     // Fast path: answer from local state, no ordering (paper §3.3).
     charge(kExecCost);
-    Bytes result = app_->execute_readonly(req.op);
+    Bytes result = app_->execute_weak(req.op);
     reply_to(from, req.counter, result, /*weak=*/true);
     return;
   }

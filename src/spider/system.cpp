@@ -1,10 +1,26 @@
 #include "spider/system.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "sim/world.hpp"
 
 namespace spider {
+
+void validate_topology(const SpiderTopology& t) {
+  if (t.fa == 0) throw std::invalid_argument("SpiderTopology.fa must be >= 1");
+  if (t.fe == 0) throw std::invalid_argument("SpiderTopology.fe must be >= 1");
+  if (t.max_batch == 0) throw std::invalid_argument("SpiderTopology.max_batch must be >= 1");
+  if (t.exec_regions.empty()) {
+    throw std::invalid_argument("SpiderTopology.exec_regions must not be empty");
+  }
+  if (t.ag_win < t.max_batch) {
+    throw std::invalid_argument("SpiderTopology.ag_win must be >= max_batch");
+  }
+  if (t.first_group_id == 0) {
+    throw std::invalid_argument("SpiderTopology.first_group_id 0 is the agreement group");
+  }
+}
 
 int az_count(Region r) {
   switch (r) {
@@ -56,6 +72,9 @@ std::vector<Site> SpiderSystem::replica_sites(Region home, std::size_t n) const 
 
 SpiderSystem::SpiderSystem(World& world, SpiderTopology topology)
     : world_(world), topo_(std::move(topology)) {
+  validate_topology(topo_);
+  next_group_id_ = topo_.first_group_id;
+
   // The admin client is constructed first so its id is known to the
   // agreement group's request validator.
   admin_ = std::make_unique<SpiderClient>(world_, Site{topo_.agreement_region, 0},

@@ -43,11 +43,22 @@ struct SpiderTopology {
   Duration view_change_timeout = 4 * kSecond;
   Duration client_retry = 2 * kSecond;
 
+  /// First GroupId this deployment hands out. A sharded deployment gives
+  /// every core a disjoint range so N cores coexist in one World without
+  /// colliding on per-group channel/checkpoint tags (NodeIds are already
+  /// disjoint: they come from the shared World allocator).
+  GroupId first_group_id = 1;
+
   /// Application factory (defaults to the KV store used in the paper).
   std::function<std::unique_ptr<Application>()> make_app = [] {
     return std::make_unique<KvStore>();
   };
 };
+
+/// Up-front sanity checks (run by the SpiderSystem constructor): throws
+/// std::invalid_argument naming the offending field instead of letting a
+/// nonsensical deployment misbehave downstream.
+void validate_topology(const SpiderTopology& t);
 
 /// Number of availability zones we model per region (paper §3.1: all major
 /// regions have >= 3 AZs; Virginia has more and hosts the agreement group).
@@ -90,6 +101,9 @@ class SpiderSystem {
 
   [[nodiscard]] World& world() { return world_; }
   [[nodiscard]] const SpiderTopology& topology() const { return topo_; }
+  /// Next GroupId this deployment would hand out (sharded builders use it
+  /// to police their per-core GroupId ranges).
+  [[nodiscard]] GroupId next_group_id() const { return next_group_id_; }
 
  private:
   std::vector<Site> replica_sites(Region home, std::size_t n) const;

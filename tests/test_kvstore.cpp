@@ -110,6 +110,99 @@ TEST(KvStore, CloneEmptyIsEmpty) {
   EXPECT_FALSE(r.ok);
 }
 
+TEST(KvStore, MputAppliesAtomicallyAndBumpsShardSeq) {
+  KvStore kv;
+  EXPECT_EQ(kv.shard_seq(), 0u);
+  KvMputReply r = kv_decode_mput_reply(kv.execute(
+      kv_mput({{"a", to_bytes(std::string("1"))}, {"b", to_bytes(std::string("2"))}})));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.shard_seq, 1u);  // one ordered mutation, regardless of key count
+  EXPECT_EQ(kv.shard_seq(), 1u);
+  EXPECT_EQ(kv.size(), 2u);
+  EXPECT_EQ(to_string(kv_decode_reply(kv.execute(kv_get("b"))).value), "2");
+}
+
+TEST(KvStore, MputRejectedWhenReadonly) {
+  KvStore kv;
+  Bytes op = kv_mput({{"a", to_bytes(std::string("1"))}});
+  EXPECT_FALSE(kv_decode_reply(kv.execute_readonly(op)).ok);
+  EXPECT_EQ(kv.size(), 0u);
+  EXPECT_EQ(kv.shard_seq(), 0u);
+}
+
+TEST(KvStore, MgetReturnsEntriesInRequestOrderWithShardSeq) {
+  KvStore kv;
+  kv.execute(kv_put("x", to_bytes(std::string("1"))));
+  kv.execute(kv_put("y", to_bytes(std::string("2"))));
+  KvMgetReply r = kv_decode_mget_reply(kv.execute(kv_mget({"y", "missing", "x"})));
+  EXPECT_EQ(r.shard_seq, 2u);  // two puts applied before the ordered read
+  ASSERT_EQ(r.entries.size(), 3u);
+  EXPECT_TRUE(r.entries[0].ok);
+  EXPECT_EQ(to_string(r.entries[0].value), "2");
+  EXPECT_FALSE(r.entries[1].ok);
+  EXPECT_TRUE(r.entries[2].ok);
+  EXPECT_EQ(to_string(r.entries[2].value), "1");
+}
+
+TEST(KvStore, WeakMgetOmitsShardSeqButKeepsValues) {
+  // The weak fast path must produce replies that do not depend on the
+  // shard-wide mutation count: replicas answering at different commit
+  // positions would otherwise never match while unrelated keys churn.
+  KvStore kv;
+  kv.execute(kv_put("x", to_bytes(std::string("1"))));
+  KvMgetReply r = kv_decode_mget_reply(kv.execute_weak(kv_mget({"x"})));
+  EXPECT_EQ(r.shard_seq, 0u);
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_TRUE(r.entries[0].ok);
+  EXPECT_EQ(to_string(r.entries[0].value), "1");
+
+  Bytes before = kv.execute_weak(kv_mget({"x"}));
+  kv.execute(kv_put("unrelated", to_bytes(std::string("z"))));
+  // Reply bytes for {"x"} are unchanged by the unrelated write, while the
+  // ordered read does observe the new mutation count.
+  EXPECT_EQ(kv.execute_weak(kv_mget({"x"})), before);
+  EXPECT_EQ(kv_decode_mget_reply(kv.execute_readonly(kv_mget({"x"}))).shard_seq, 2u);
+}
+
+TEST(KvStore, ShardSeqSurvivesSnapshotRestore) {
+  KvStore a;
+  a.execute(kv_put("k", to_bytes(std::string("v"))));
+  a.execute(kv_del("k"));
+  EXPECT_EQ(a.shard_seq(), 2u);
+  KvStore b;
+  b.restore(a.snapshot());
+  // Replicas adopting a checkpoint must agree on the mutation count too,
+  // or read-your-writes checks would diverge after state transfer.
+  EXPECT_EQ(b.shard_seq(), 2u);
+}
+
+TEST(KvStore, ParseOpRoundTrips) {
+  KvParsedOp put = kv_parse_op(kv_put("k", to_bytes(std::string("v"))));
+  EXPECT_EQ(put.kind, KvOp::Put);
+  ASSERT_EQ(put.keys.size(), 1u);
+  EXPECT_EQ(put.keys[0], "k");
+  EXPECT_EQ(to_string(put.values[0]), "v");
+
+  KvParsedOp get = kv_parse_op(kv_get("g"));
+  EXPECT_EQ(get.kind, KvOp::Get);
+  EXPECT_EQ(get.keys[0], "g");
+
+  KvParsedOp size = kv_parse_op(kv_size());
+  EXPECT_EQ(size.kind, KvOp::Size);
+  EXPECT_TRUE(size.keys.empty());
+
+  KvParsedOp mget = kv_parse_op(kv_mget({"a", "b"}));
+  EXPECT_EQ(mget.kind, KvOp::MGet);
+  EXPECT_EQ(mget.keys, (std::vector<std::string>{"a", "b"}));
+
+  KvParsedOp mput = kv_parse_op(kv_mput({{"a", to_bytes(std::string("1"))}}));
+  EXPECT_EQ(mput.kind, KvOp::MPut);
+  EXPECT_EQ(mput.keys[0], "a");
+  EXPECT_EQ(to_string(mput.values[0]), "1");
+
+  EXPECT_THROW(kv_parse_op(Bytes{0x77}), SerdeError);
+}
+
 TEST(KvStore, MalformedOpThrows) {
   KvStore kv;
   Bytes garbage = {0x99};

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shard/shard_map.hpp"
+
+namespace spider {
+namespace {
+
+TEST(ShardMap, UniformCoversAllShards) {
+  ShardMap m = ShardMap::uniform(4);
+  EXPECT_EQ(m.shard_count(), 4u);
+  EXPECT_EQ(m.version(), 1u);
+  ASSERT_EQ(m.ranges().size(), 4u);
+  EXPECT_EQ(m.ranges().front().start, 0u);
+
+  // A spread of keys must hit every shard (uniform hash over 4 partitions).
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    std::uint32_t s = m.shard_of("key-" + std::to_string(i));
+    ASSERT_LT(s, 4u);
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ShardMap, SingleShardOwnsEverything) {
+  ShardMap m = ShardMap::uniform(1);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(m.shard_of("k" + std::to_string(i)), 0u);
+  }
+}
+
+TEST(ShardMap, RoutingIsDeterministic) {
+  ShardMap a = ShardMap::uniform(8);
+  ShardMap b = ShardMap::uniform(8);
+  for (int i = 0; i < 128; ++i) {
+    std::string key = "stable-" + std::to_string(i);
+    EXPECT_EQ(a.shard_of(key), b.shard_of(key));
+  }
+}
+
+TEST(ShardMap, HashBoundariesRouteByRange) {
+  ShardMap m = ShardMap::uniform(2);
+  std::uint64_t split = m.ranges()[1].start;
+  EXPECT_EQ(m.shard_of_hash(0), 0u);
+  EXPECT_EQ(m.shard_of_hash(split - 1), 0u);
+  EXPECT_EQ(m.shard_of_hash(split), 1u);
+  EXPECT_EQ(m.shard_of_hash(~std::uint64_t{0}), 1u);
+}
+
+TEST(ShardMap, ZeroShardsRejected) {
+  EXPECT_THROW(ShardMap::uniform(0), std::invalid_argument);
+}
+
+TEST(ShardMap, SetRangesRebalances) {
+  ShardMap m = ShardMap::uniform(2);
+  // Move the split point: shard 1 now owns the top quarter only.
+  std::uint64_t quarter = ~std::uint64_t{0} / 4;
+  m.set_ranges({{0, 0}, {3 * quarter, 1}}, 2);
+  EXPECT_EQ(m.version(), 2u);
+  EXPECT_EQ(m.shard_of_hash(2 * quarter), 0u);  // previously shard 1's
+  EXPECT_EQ(m.shard_of_hash(3 * quarter), 1u);
+}
+
+TEST(ShardMap, SetRangesValidation) {
+  ShardMap m = ShardMap::uniform(2);
+  EXPECT_THROW(m.set_ranges({}, 2), std::invalid_argument);                 // empty
+  EXPECT_THROW(m.set_ranges({{5, 0}}, 2), std::invalid_argument);          // hole at 0
+  EXPECT_THROW(m.set_ranges({{0, 0}, {0, 1}}, 2), std::invalid_argument);  // not increasing
+  EXPECT_THROW(m.set_ranges({{0, 7}}, 2), std::invalid_argument);          // unknown shard
+  EXPECT_THROW(m.set_ranges({{0, 0}}, 1), std::invalid_argument);          // stale version
+}
+
+TEST(ShardMap, EncodeDecodeRoundTrip) {
+  ShardMap m = ShardMap::uniform(3);
+  m.set_ranges({{0, 2}, {1000, 0}, {2000, 1}}, 5);
+  Bytes wire = m.encode();
+  Reader r(wire);
+  ShardMap back = ShardMap::decode(r);
+  EXPECT_EQ(back.version(), 5u);
+  EXPECT_EQ(back.shard_count(), 3u);
+  for (std::uint64_t h : {0ull, 999ull, 1000ull, 1999ull, 2000ull, ~0ull}) {
+    EXPECT_EQ(back.shard_of_hash(h), m.shard_of_hash(h)) << h;
+  }
+}
+
+TEST(ShardMap, DecodeRejectsMalformedTable) {
+  ShardMap m = ShardMap::uniform(2);
+  Bytes wire = m.encode();
+  // Corrupt the first range start (offset: u64 version + u32 shards + u32
+  // count = 16) so the table no longer covers the hash space from 0.
+  wire[16] = 1;
+  Reader r(wire);
+  EXPECT_THROW(ShardMap::decode(r), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spider

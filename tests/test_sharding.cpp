@@ -1,0 +1,463 @@
+// Sharded Spider subsystem: topology validation, keyspace routing,
+// cross-shard fan-out ops, and checkpoint state transfer into a group
+// added to one shard while the other shards keep committing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shard/sharded_system.hpp"
+#include "sim/world.hpp"
+
+namespace spider {
+namespace {
+
+/// Small intervals/capacities so checkpoint and flow-control paths are
+/// exercised quickly (mirrors tests/test_spider.cpp).
+SpiderTopology small_core(std::vector<Region> regions = {Region::Virginia, Region::Oregon}) {
+  SpiderTopology t;
+  t.exec_regions = std::move(regions);
+  t.ka = 4;
+  t.ke = 4;
+  t.ag_win = 16;
+  t.commit_capacity = 8;
+  t.request_timeout = kSecond;
+  t.view_change_timeout = 2 * kSecond;
+  t.client_retry = kSecond;
+  return t;
+}
+
+ShardedTopology small_sharded(std::uint32_t shards) {
+  ShardedTopology t;
+  t.shards = shards;
+  t.base = small_core();
+  return t;
+}
+
+/// Finds a key of the form "<tag>-N" owned by `shard`.
+std::string key_for_shard(const ShardMap& map, std::uint32_t shard, const std::string& tag) {
+  for (int i = 0;; ++i) {
+    std::string key = tag + "-" + std::to_string(i);
+    if (map.shard_of(key) == shard) return key;
+  }
+}
+
+struct Fixture {
+  World world;
+  ShardedSpiderSystem sys;
+
+  explicit Fixture(ShardedTopology topo = small_sharded(2), std::uint64_t seed = 1)
+      : world(seed), sys(world, std::move(topo)) {}
+
+  std::pair<KvReply, Duration> do_put(ShardedClient& c, const std::string& key,
+                                      const std::string& value,
+                                      Duration timeout = 10 * kSecond) {
+    KvReply out;
+    Duration lat = -1;
+    c.put(key, to_bytes(value), [&](Bytes result, Duration l) {
+      out = kv_decode_reply(result);
+      lat = l;
+    });
+    Time deadline = world.now() + timeout;
+    while (lat < 0 && world.now() < deadline) world.queue().run_next();
+    return {out, lat};
+  }
+
+  std::pair<KvReply, Duration> do_get(ShardedClient& c, const std::string& key,
+                                      Duration timeout = 10 * kSecond) {
+    KvReply out;
+    Duration lat = -1;
+    c.get(key, [&](Bytes result, Duration l) {
+      out = kv_decode_reply(result);
+      lat = l;
+    });
+    Time deadline = world.now() + timeout;
+    while (lat < 0 && world.now() < deadline) world.queue().run_next();
+    return {out, lat};
+  }
+};
+
+// ----------------------------------------------- topology validation (PR 2)
+
+void expect_rejected(const SpiderTopology& t, const std::string& field) {
+  World world(1);
+  try {
+    SpiderSystem sys(world, t);
+    FAIL() << "expected rejection naming " << field;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "message '" << e.what() << "' does not name " << field;
+  }
+}
+
+TEST(TopologyValidation, RejectsZeroFa) {
+  SpiderTopology t;
+  t.fa = 0;
+  expect_rejected(t, "fa");
+}
+
+TEST(TopologyValidation, RejectsZeroFe) {
+  SpiderTopology t;
+  t.fe = 0;
+  expect_rejected(t, "fe");
+}
+
+TEST(TopologyValidation, RejectsZeroMaxBatch) {
+  SpiderTopology t;
+  t.max_batch = 0;
+  expect_rejected(t, "max_batch");
+}
+
+TEST(TopologyValidation, RejectsEmptyExecRegions) {
+  SpiderTopology t;
+  t.exec_regions.clear();
+  expect_rejected(t, "exec_regions");
+}
+
+TEST(TopologyValidation, RejectsAgWinSmallerThanMaxBatch) {
+  SpiderTopology t;
+  t.ag_win = 8;
+  t.max_batch = 16;
+  expect_rejected(t, "ag_win");
+}
+
+TEST(TopologyValidation, RejectsZeroShards) {
+  World world(1);
+  ShardedTopology t = small_sharded(1);
+  t.shards = 0;
+  try {
+    ShardedSpiderSystem sys(world, t);
+    FAIL() << "expected rejection";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("shards"), std::string::npos);
+  }
+}
+
+TEST(TopologyValidation, RejectsTinyGroupIdStride) {
+  World world(1);
+  ShardedTopology t = small_sharded(2);
+  t.group_id_stride = 1;  // smaller than the per-core group count
+  EXPECT_THROW(ShardedSpiderSystem(world, t), std::invalid_argument);
+}
+
+TEST(TopologyValidation, ShardedRejectsBadBase) {
+  World world(1);
+  ShardedTopology t = small_sharded(2);
+  t.base.fe = 0;
+  EXPECT_THROW(ShardedSpiderSystem(world, t), std::invalid_argument);
+}
+
+TEST(TopologyValidation, ValidTopologyPasses) {
+  World world(1);
+  SpiderTopology t;  // defaults are sane
+  EXPECT_NO_THROW(validate_topology(t));
+}
+
+// ------------------------------------------------------------------ routing
+
+TEST(ShardedSpider, CoresGetDisjointGroupIdRanges) {
+  Fixture f;
+  std::set<GroupId> seen;
+  for (std::uint32_t s = 0; s < f.sys.shard_count(); ++s) {
+    for (GroupId g : f.sys.core(s).group_ids()) {
+      EXPECT_TRUE(seen.insert(g).second) << "GroupId " << g << " reused across cores";
+    }
+  }
+}
+
+TEST(ShardedSpider, SingleKeyWritesLandOnOwningShardOnly) {
+  Fixture f;
+  auto client = f.sys.make_client(Site{Region::Virginia, 0});
+  std::string k0 = key_for_shard(f.sys.shard_map(), 0, "route0");
+  std::string k1 = key_for_shard(f.sys.shard_map(), 1, "route1");
+
+  ASSERT_TRUE(f.do_put(*client, k0, "a").first.ok);
+  ASSERT_TRUE(f.do_put(*client, k1, "b").first.ok);
+  f.world.run_for(2 * kSecond);  // drain commit channels everywhere
+
+  // Shard 0's replicas hold k0 but not k1 (and vice versa): the keyspace is
+  // genuinely partitioned, not replicated across cores.
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    SpiderSystem& core = f.sys.core(s);
+    for (GroupId g : core.group_ids()) {
+      for (std::size_t i = 0; i < core.group_size(g); ++i) {
+        const Application& app = core.exec(g, i).app();
+        KvReply own = kv_decode_reply(app.execute_readonly(kv_get(s == 0 ? k0 : k1)));
+        KvReply other = kv_decode_reply(app.execute_readonly(kv_get(s == 0 ? k1 : k0)));
+        EXPECT_TRUE(own.ok) << "shard " << s << " group " << g << " replica " << i;
+        EXPECT_FALSE(other.ok) << "shard " << s << " group " << g << " replica " << i;
+      }
+    }
+  }
+}
+
+TEST(ShardedSpider, StrongReadRoutesToOwningShard) {
+  Fixture f;
+  auto client = f.sys.make_client(Site{Region::Oregon, 0});
+  std::string k1 = key_for_shard(f.sys.shard_map(), 1, "sr");
+  ASSERT_TRUE(f.do_put(*client, k1, "v").first.ok);
+  auto [reply, lat] = f.do_get(*client, k1);
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(to_string(reply.value), "v");
+}
+
+TEST(ShardedSpider, CrossShardSingleOpRejected) {
+  Fixture f;
+  auto client = f.sys.make_client(Site{Region::Virginia, 0});
+  std::string k0 = key_for_shard(f.sys.shard_map(), 0, "x0");
+  std::string k1 = key_for_shard(f.sys.shard_map(), 1, "x1");
+  Bytes cross = kv_mput({{k0, to_bytes(std::string("a"))}, {k1, to_bytes(std::string("b"))}});
+  EXPECT_THROW(client->write(std::move(cross), [](Bytes, Duration) {}),
+               std::invalid_argument);
+  // Ops with no routing key cannot be routed either.
+  EXPECT_THROW((void)client->route_op(kv_size()), std::invalid_argument);
+}
+
+TEST(ShardedSpider, MultiKeyOpOnOneShardRoutesAsWrite) {
+  Fixture f;
+  auto client = f.sys.make_client(Site{Region::Virginia, 0});
+  std::string a = key_for_shard(f.sys.shard_map(), 0, "same-a");
+  std::string b = key_for_shard(f.sys.shard_map(), 0, "same-b");
+  KvMputReply out;
+  Duration lat = -1;
+  client->write(kv_mput({{a, to_bytes(std::string("1"))}, {b, to_bytes(std::string("2"))}}),
+                [&](Bytes reply, Duration l) {
+                  out = kv_decode_mput_reply(reply);
+                  lat = l;
+                });
+  Time deadline = f.world.now() + 10 * kSecond;
+  while (lat < 0 && f.world.now() < deadline) f.world.queue().run_next();
+  ASSERT_TRUE(out.ok);
+  EXPECT_GE(out.shard_seq, 1u);
+  EXPECT_TRUE(f.do_get(*client, b).first.ok);
+}
+
+// ------------------------------------------------------- cross-shard fan-out
+
+TEST(ShardedSpider, MputMgetReadYourWritesPerShard) {
+  Fixture f(small_sharded(4));
+  auto client = f.sys.make_client(Site{Region::Virginia, 0});
+
+  // Enough keys to touch several shards with high probability.
+  std::vector<std::pair<std::string, Bytes>> pairs;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 12; ++i) {
+    std::string k = "multi-" + std::to_string(i);
+    keys.push_back(k);
+    pairs.emplace_back(k, to_bytes(std::string("v") + std::to_string(i)));
+  }
+
+  ShardedClient::MputResult put_result;
+  Duration put_lat = -1;
+  client->mput(pairs, [&](ShardedClient::MputResult res, Duration l) {
+    put_result = std::move(res);
+    put_lat = l;
+  });
+  Time deadline = f.world.now() + 20 * kSecond;
+  while (put_lat < 0 && f.world.now() < deadline) f.world.queue().run_next();
+  ASSERT_GE(put_lat, 0) << "mput did not complete";
+  ASSERT_TRUE(put_result.ok);
+  EXPECT_GT(put_result.shard_seqs.size(), 1u) << "workload should span shards";
+  for (const auto& [shard, seq] : put_result.shard_seqs) EXPECT_GE(seq, 1u) << shard;
+
+  std::vector<ShardedClient::MgetEntry> entries;
+  Duration get_lat = -1;
+  client->mget(keys, [&](std::vector<ShardedClient::MgetEntry> e, Duration l) {
+    entries = std::move(e);
+    get_lat = l;
+  });
+  deadline = f.world.now() + 20 * kSecond;
+  while (get_lat < 0 && f.world.now() < deadline) f.world.queue().run_next();
+  ASSERT_GE(get_lat, 0) << "mget did not complete";
+
+  ASSERT_EQ(entries.size(), keys.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].key, keys[i]);
+    EXPECT_TRUE(entries[i].ok) << keys[i];
+    EXPECT_EQ(to_string(entries[i].value), "v" + std::to_string(i));
+    EXPECT_EQ(entries[i].shard, f.sys.shard_map().shard_of(keys[i]));
+    // Read-your-writes per shard: the read observed at least the mutation
+    // count our own MPUT produced on that key's shard.
+    auto it = put_result.shard_seqs.find(entries[i].shard);
+    ASSERT_NE(it, put_result.shard_seqs.end());
+    EXPECT_GE(entries[i].shard_seq, it->second) << keys[i];
+  }
+}
+
+TEST(ShardedSpider, WeakMgetServesValuesUnderConcurrentWrites) {
+  Fixture f(small_sharded(2));
+  auto client = f.sys.make_client(Site{Region::Virginia, 0});
+  std::string k0 = key_for_shard(f.sys.shard_map(), 0, "wm0");
+  std::string k1 = key_for_shard(f.sys.shard_map(), 1, "wm1");
+  ASSERT_TRUE(f.do_put(*client, k0, "a").first.ok);
+  ASSERT_TRUE(f.do_put(*client, k1, "b").first.ok);
+  f.world.run_for(2 * kSecond);
+
+  // Keep unrelated keys churning on both shards while the weak MGET runs:
+  // the fast-path replies must still quorum-match (they carry no shard-wide
+  // mutation count), so the read completes with shard_seq 0.
+  auto writer = f.sys.make_client(Site{Region::Virginia, 1});
+  std::function<void(int)> churn = [&](int i) {
+    if (i >= 12) return;
+    writer->put("churn-" + std::to_string(i), to_bytes(std::string("x")),
+                [&churn, i](Bytes, Duration) { churn(i + 1); });
+  };
+  churn(0);
+
+  std::vector<ShardedClient::MgetEntry> entries;
+  Duration lat = -1;
+  client->mget({k0, k1}, [&](std::vector<ShardedClient::MgetEntry> e, Duration l) {
+    entries = std::move(e);
+    lat = l;
+  }, /*weak=*/true);
+  Time deadline = f.world.now() + 10 * kSecond;
+  while (lat < 0 && f.world.now() < deadline) f.world.queue().run_next();
+  ASSERT_GE(lat, 0) << "weak mget starved under write churn";
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries[0].ok);
+  EXPECT_EQ(to_string(entries[0].value), "a");
+  EXPECT_TRUE(entries[1].ok);
+  EXPECT_EQ(to_string(entries[1].value), "b");
+  for (const auto& e : entries) EXPECT_EQ(e.shard_seq, 0u) << "weak reads carry no seq";
+}
+
+TEST(ShardedSpider, AddGroupBeyondGroupIdStrideRejected) {
+  ShardedTopology topo = small_sharded(2);
+  topo.group_id_stride = 3;  // room for the 2 initial groups + exactly one more
+  Fixture f(topo);
+  bool added = false;
+  f.sys.add_group(0, Region::SaoPaulo, [&] { added = true; });
+  Time deadline = f.world.now() + 30 * kSecond;
+  while (!added && f.world.now() < deadline) f.world.queue().run_next();
+  ASSERT_TRUE(added);
+  // A second add would hand out shard 1's first GroupId: must fail loudly
+  // instead of silently breaking cross-core disjointness.
+  EXPECT_THROW(f.sys.add_group(0, Region::Ohio), std::runtime_error);
+  std::set<GroupId> seen;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    for (GroupId g : f.sys.core(s).group_ids()) EXPECT_TRUE(seen.insert(g).second);
+  }
+}
+
+TEST(ShardedSpider, SizeAggregatesAcrossShards) {
+  Fixture f;
+  auto client = f.sys.make_client(Site{Region::Virginia, 0});
+  std::string k0 = key_for_shard(f.sys.shard_map(), 0, "sz0");
+  std::string k1 = key_for_shard(f.sys.shard_map(), 1, "sz1");
+  ASSERT_TRUE(f.do_put(*client, k0, "a").first.ok);
+  ASSERT_TRUE(f.do_put(*client, k1, "b").first.ok);
+
+  std::uint64_t total = 0;
+  Duration lat = -1;
+  client->size([&](std::uint64_t t, Duration l) {
+    total = t;
+    lat = l;
+  });
+  Time deadline = f.world.now() + 10 * kSecond;
+  while (lat < 0 && f.world.now() < deadline) f.world.queue().run_next();
+  EXPECT_EQ(total, 2u);
+}
+
+// --------------------------------------- checkpoint transfer under sharding
+
+TEST(ShardedSpider, AddGroupStateTransferWhileOtherShardsCommit) {
+  Fixture f(small_sharded(2), /*seed=*/77);
+  auto client = f.sys.make_client(Site{Region::Virginia, 0});
+  const ShardMap& map = f.sys.shard_map();
+
+  // Build up shard-0 history far beyond its commit window (capacity 8), so
+  // a group joining later can only catch up via Checkpointer::fetch_cp.
+  for (int i = 0; i < 30; ++i) {
+    std::string k = key_for_shard(map, 0, "pre" + std::to_string(i));
+    ASSERT_TRUE(f.do_put(*client, k, "s0-" + std::to_string(i)).first.ok);
+  }
+  std::string probe = key_for_shard(map, 0, "pre0");
+
+  // Add a group to shard 0 while shard 1 keeps committing writes.
+  bool added = false;
+  GroupId ng = f.sys.add_group(0, Region::SaoPaulo, [&] { added = true; });
+  int shard1_ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::string k = key_for_shard(map, 1, "during" + std::to_string(i));
+    if (f.do_put(*client, k, "s1-" + std::to_string(i)).first.ok) ++shard1_ok;
+  }
+  Time deadline = f.world.now() + 30 * kSecond;
+  while (!added && f.world.now() < deadline) f.world.queue().run_next();
+  ASSERT_TRUE(added);
+  EXPECT_EQ(shard1_ok, 10) << "shard 1 must not stall behind shard 0's reconfiguration";
+
+  // Nudge shard 0's pipeline so the new group receives Executes, then give
+  // the cross-group checkpoint fetch time to close the gap.
+  ASSERT_TRUE(f.do_put(*client, key_for_shard(map, 0, "post"), "v").first.ok);
+  f.world.run_for(10 * kSecond);
+
+  SpiderSystem& core0 = f.sys.core(0);
+  GroupId g0 = core0.group_ids().front();
+  SeqNr healthy = core0.exec(g0, 0).executed_seq();
+  bool fetched = false;
+  for (std::size_t i = 0; i < core0.group_size(ng); ++i) {
+    ExecutionReplica& r = core0.exec(ng, i);
+    EXPECT_GE(r.executed_seq() + 2, healthy) << "replica " << i << " still trailing";
+    fetched = fetched || r.catchups() > 0;
+    // Pre-join state arrived via snapshot, not replay.
+    KvReply pre = kv_decode_reply(r.app().execute_readonly(kv_get(probe)));
+    EXPECT_TRUE(pre.ok) << "replica " << i << " missing pre-join key";
+  }
+  EXPECT_TRUE(fetched) << "no new-group replica used the checkpoint fetch path";
+
+  // A local client can use the new group, and its weak reads are local.
+  auto sp = f.sys.make_client(Site{Region::SaoPaulo, 0});
+  EXPECT_EQ(sp->shard_client(0).group().group, ng);
+  KvReply out;
+  Duration lat = -1;
+  sp->weak_get(probe, [&](Bytes reply, Duration l) {
+    out = kv_decode_reply(reply);
+    lat = l;
+  });
+  deadline = f.world.now() + 10 * kSecond;
+  while (lat < 0 && f.world.now() < deadline) f.world.queue().run_next();
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(to_string(out.value), "s0-0");
+  EXPECT_LT(lat, 5 * kMillisecond);
+}
+
+// ------------------------------------------------- client retransmit backoff
+
+TEST(ClientBackoff, RetransmitIntervalIsCappedWithJitter) {
+  // A client facing a completely dead group keeps retrying forever; the
+  // backoff must stop doubling at kRetryBackoffCap x the base interval.
+  World world(9);
+  SpiderTopology topo;  // defaults; we only need the group membership
+  topo.client_retry = kSecond;
+  SpiderSystem sys(world, topo);
+  auto client = sys.make_client(Site{Region::Virginia, 0});
+  for (NodeId n : client->group().members) world.net().set_node_down(n, true);
+
+  client->write(kv_put("k", to_bytes(std::string("v"))), [](Bytes, Duration) {
+    FAIL() << "write must not complete against a dead group";
+  });
+  world.run_for(200 * kSecond);
+
+  // Ramp: 1+2+4 s, then capped intervals in [8 s, 10 s] (jitter <= base/4).
+  // Uncapped doubling would produce only ~7 retries in 200 s; no backoff at
+  // all would produce ~160. Both bounds pin the cap AND the backoff.
+  EXPECT_GE(client->retries(), 15u);
+  EXPECT_LE(client->retries(), 27u);
+}
+
+TEST(ClientBackoff, JitterIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    World world(seed);
+    SpiderTopology topo;
+    topo.client_retry = kSecond;
+    SpiderSystem sys(world, topo);
+    auto client = sys.make_client(Site{Region::Virginia, 0});
+    for (NodeId n : client->group().members) world.net().set_node_down(n, true);
+    client->write(kv_put("k", to_bytes(std::string("v"))), [](Bytes, Duration) {});
+    world.run_for(50 * kSecond);
+    return client->retries();
+  };
+  EXPECT_EQ(run(42), run(42));  // same seed -> identical retry schedule
+}
+
+}  // namespace
+}  // namespace spider
