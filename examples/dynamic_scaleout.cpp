@@ -10,29 +10,20 @@
 #include "sim/stats.hpp"
 #include "sim/world.hpp"
 #include "spider/system.hpp"
+#include "tests/support/drive.hpp"
 
 using namespace spider;
 
 namespace {
 
 Duration measured_weak_read(World& world, SpiderClient& client, const std::string& key) {
-  Duration lat = -1;
-  client.weak_read(kv_get(key), [&](Bytes, Duration l) { lat = l; });
-  Time deadline = world.now() + 10 * kSecond;
-  while (lat < 0 && world.now() < deadline) world.queue().run_next();
-  return lat;
+  drive::KvOutcome out = drive::blocking_weak_read(world, client, key, 10 * kSecond);
+  return out.done ? out.latency : -1;
 }
 
 bool blocking_write(World& world, SpiderClient& client, const std::string& key,
                     const std::string& value) {
-  bool ok = false, done = false;
-  client.write(kv_put(key, to_bytes(value)), [&](Bytes reply, Duration) {
-    ok = kv_decode_reply(reply).ok;
-    done = true;
-  });
-  Time deadline = world.now() + 30 * kSecond;
-  while (!done && world.now() < deadline) world.queue().run_next();
-  return ok;
+  return drive::blocking_write(world, client, key, value, 30 * kSecond).ok;
 }
 
 }  // namespace
@@ -58,7 +49,7 @@ int main() {
   // <AddGroup> command, no protocol changes anywhere else.
   bool added = false;
   GroupId sp_group = spider.add_group(Region::SaoPaulo, [&] { added = true; });
-  while (!added) world.queue().run_next();
+  drive::run_until(world, [&] { return added; });
   std::printf("AddGroup agreed: group %u in Sao Paulo is live\n", sp_group);
 
   // Push a write through so the new group picks up a checkpoint, then let
@@ -78,7 +69,7 @@ int main() {
   sp_client->switch_group(spider.group_info(spider.nearest_group(Region::Virginia)));
   bool removed = false;
   spider.remove_group(sp_group, [&] { removed = true; });
-  while (!removed) world.queue().run_next();
+  drive::run_until(world, [&] { return removed; });
   std::printf("RemoveGroup agreed: %zu groups remain; system keeps serving\n",
               spider.group_ids().size());
   std::printf("  final write: %s\n",

@@ -1,54 +1,20 @@
-// Fault injection tour (paper §3.7): Byzantine execution replicas that
-// corrupt replies or drop request forwarding, a crashed agreement leader
-// (handled by an intra-region view change), and a lagging replica that
-// recovers through the checkpoint protocol — all while clients keep
-// getting correct answers.
+// Fault injection tour (paper §3.7 + crash-recovery extension): Byzantine
+// execution replicas that corrupt replies or drop request forwarding, a
+// crashed-and-restarted agreement leader (view change + checkpoint
+// rejoin), and a crash-recovered execution replica that re-initializes
+// through checkpoint state transfer — all scripted on a deterministic
+// FaultPlan, while clients keep getting correct answers.
 //
 //   $ ./examples/fault_injection
 #include <cstdio>
 
+#include "sim/fault_plan.hpp"
 #include "sim/stats.hpp"
 #include "sim/world.hpp"
 #include "spider/system.hpp"
+#include "tests/support/drive.hpp"
 
 using namespace spider;
-
-namespace {
-
-struct Outcome {
-  bool ok = false;
-  Bytes value;
-  Duration latency = 0;
-};
-
-Outcome blocking_write(World& world, SpiderClient& client, const std::string& key,
-                       const std::string& value) {
-  Outcome out;
-  bool done = false;
-  client.write(kv_put(key, to_bytes(value)), [&](Bytes reply, Duration lat) {
-    KvReply r = kv_decode_reply(reply);
-    out = Outcome{r.ok, r.value, lat};
-    done = true;
-  });
-  Time deadline = world.now() + 60 * kSecond;
-  while (!done && world.now() < deadline) world.queue().run_next();
-  return out;
-}
-
-Outcome blocking_weak_read(World& world, SpiderClient& client, const std::string& key) {
-  Outcome out;
-  bool done = false;
-  client.weak_read(kv_get(key), [&](Bytes reply, Duration lat) {
-    KvReply r = kv_decode_reply(reply);
-    out = Outcome{r.ok, r.value, lat};
-    done = true;
-  });
-  Time deadline = world.now() + 60 * kSecond;
-  while (!done && world.now() < deadline) world.queue().run_next();
-  return out;
-}
-
-}  // namespace
 
 int main() {
   World world(1234);
@@ -58,50 +24,70 @@ int main() {
   topo.commit_capacity = 16;
   SpiderSystem spider(world, topo);
 
+  // The fault plan drives every fault in this tour. Crash/restart actions
+  // go through the system's crash-recovery hooks: a crash destroys the
+  // replica process (volatile state and all), a restart rebuilds it under
+  // the same NodeId and lets the protocol recover it.
+  FaultPlan plan(world);
+  plan.on_crash = [&spider](NodeId n) { spider.crash_node(n); };
+  plan.on_restart = [&spider](NodeId n) { spider.restart_node(n); };
+
   auto client = spider.make_client(Site{Region::Oregon, 0});
   GroupId g = client->group().group;
 
   std::printf("== 1. Byzantine execution replica corrupts its replies ==\n");
   spider.exec(g, 0).corrupt_replies = true;
-  Outcome w = blocking_write(world, *client, "account", "100");
+  drive::KvOutcome w = drive::blocking_write(world, *client, "account", "100");
   std::printf("   write %s in %s  (fe+1 matching correct replies outvote it)\n",
               w.ok ? "succeeded" : "FAILED", format_ms(w.latency).c_str());
 
   std::printf("== 2. Another replica silently drops request forwarding ==\n");
   spider.exec(g, 1).drop_forwarding = true;
-  w = blocking_write(world, *client, "account", "90");
+  w = drive::blocking_write(world, *client, "account", "90");
   std::printf("   write %s in %s  (fe+1 correct forwarders satisfy the IRMC)\n",
               w.ok ? "succeeded" : "FAILED", format_ms(w.latency).c_str());
   spider.exec(g, 0).corrupt_replies = false;
   spider.exec(g, 1).drop_forwarding = false;
 
-  std::printf("== 3. Agreement leader crashes: intra-region view change ==\n");
-  world.net().set_node_down(spider.agreement(0).id(), true);
-  w = blocking_write(world, *client, "account", "80");
+  std::printf("== 3. Agreement leader crashes (process destroyed): view change ==\n");
+  NodeId leader = spider.agreement(0).id();
+  plan.crash_at(world.now(), leader);
+  world.run_for(kMillisecond);
+  w = drive::blocking_write(world, *client, "account", "80");
   std::printf("   write %s in %s; new view = %llu\n", w.ok ? "succeeded" : "FAILED",
               format_ms(w.latency).c_str(),
               static_cast<unsigned long long>(spider.agreement(1).consensus().view()));
-  w = blocking_write(world, *client, "account", "70");
-  std::printf("   next write back to %s (leader change never crossed a region)\n",
-              format_ms(w.latency).c_str());
 
-  std::printf("== 4. Crashed execution replica catches up via checkpoints ==\n");
-  NodeId lagger = spider.exec(g, 2).id();
-  world.net().set_node_down(lagger, true);
-  for (int i = 0; i < 25; ++i) {
-    blocking_write(world, *client, "burst" + std::to_string(i), "x");
+  std::printf("== 4. ...and restarts: the fresh process rejoins its view ==\n");
+  plan.restart_at(world.now(), leader);
+  for (int i = 0; i < 10; ++i) {
+    drive::blocking_write(world, *client, "account", std::to_string(70 - i));
   }
-  std::printf("   while down, replica executed up to seq %llu (healthy: %llu)\n",
-              static_cast<unsigned long long>(spider.exec(g, 2).executed_seq()),
+  world.run_for(5 * kSecond);
+  std::printf("   restarted leader: view = %llu (group: %llu), rejoined by f+1 evidence\n",
+              static_cast<unsigned long long>(spider.agreement(0).consensus().view()),
+              static_cast<unsigned long long>(spider.agreement(1).consensus().view()));
+
+  std::printf("== 5. Crash-recovered execution replica catches up via checkpoints ==\n");
+  NodeId lagger = spider.exec(g, 2).id();
+  plan.crash_at(world.now(), lagger);
+  world.run_for(kMillisecond);
+  for (int i = 0; i < 25; ++i) {
+    drive::blocking_write(world, *client, "burst" + std::to_string(i), "x");
+  }
+  std::printf("   while down, the group executed up to seq %llu without it\n",
               static_cast<unsigned long long>(spider.exec(g, 0).executed_seq()));
-  world.net().set_node_down(lagger, false);
-  blocking_write(world, *client, "after", "y");
+  plan.restart_at(world.now(), lagger);
+  world.run_for(kMillisecond);
+  drive::blocking_write(world, *client, "after", "y");
   world.run_for(10 * kSecond);
-  std::printf("   after recovery it reached seq %llu via %llu checkpoint catch-up(s)\n",
+  std::printf("   after restart it reached seq %llu via %llu checkpoint catch-up(s)\n",
               static_cast<unsigned long long>(spider.exec(g, 2).executed_seq()),
               static_cast<unsigned long long>(spider.exec(g, 2).catchups()));
 
-  Outcome r = blocking_weak_read(world, *client, "account");
+  drive::KvOutcome r = drive::blocking_weak_read(world, *client, "account");
+  std::printf("\nfault schedule executed (%llu actions):\n%s",
+              static_cast<unsigned long long>(plan.actions_fired()), plan.describe().c_str());
   std::printf("\nfinal state check: account = \"%s\" (%s)\n", to_string(r.value).c_str(),
               r.ok ? "ok" : "missing");
   return 0;

@@ -8,6 +8,7 @@
 #include "sim/stats.hpp"
 #include "sim/world.hpp"
 #include "spider/system.hpp"
+#include "tests/support/drive.hpp"
 
 using namespace spider;
 
@@ -15,8 +16,7 @@ namespace {
 
 /// Runs the event loop until `done` flips or the timeout passes.
 void run_until_done(World& world, bool& done, Duration timeout = 10 * kSecond) {
-  Time deadline = world.now() + timeout;
-  while (!done && world.now() < deadline) world.queue().run_next();
+  drive::run_until(world, [&] { return done; }, timeout);
 }
 
 }  // namespace

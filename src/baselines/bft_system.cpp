@@ -51,6 +51,10 @@ BftReplica::BftReplica(World& world, NodeId self, Site site, std::uint32_t index
   checkpointer_ = std::make_unique<Checkpointer>(
       *this, tags::kCheckpoint, pc.replicas, cfg.f,
       [this](SeqNr s, BytesView state) { on_stable_checkpoint(s, state); });
+  checkpointer_->snapshot_now = [this] {
+    last_cp_ = std::max(last_cp_, sn_);
+    return std::make_pair(sn_, snapshot_state());
+  };
 }
 
 void BftReplica::on_message(NodeId from, BytesView data) {
@@ -105,13 +109,46 @@ void BftReplica::handle_client(NodeId from, Reader& r) {
 }
 
 void BftReplica::on_deliver_batch(SeqNr first, const std::vector<Bytes>& batch) {
-  sn_ = first + static_cast<SeqNr>(batch.size()) - 1;
-  for (const Bytes& request : batch) execute_one(request);
+  if (first > sn_ + 1) {
+    // Execution gap: the consensus floor jumped past instances we never
+    // executed (a view change adopted peers' stable floor while this
+    // replica trailed). Executing above the gap would silently diverge
+    // from the group; hold the delivery back and recover the missing
+    // prefix through a peer checkpoint instead.
+    stash_[first] = batch;
+    checkpointer_->fetch_cp(first - 1);
+    return;
+  }
+  apply_batch(first, batch);
+  drain_stash();
+}
+
+void BftReplica::apply_batch(SeqNr first, const std::vector<Bytes>& batch) {
+  // Skip any head entries an adopted checkpoint already covers.
+  const std::size_t skip = first <= sn_ ? static_cast<std::size_t>(sn_ + 1 - first) : 0;
+  sn_ = std::max(sn_, first + static_cast<SeqNr>(batch.size()) - 1);
+  for (std::size_t i = skip; i < batch.size(); ++i) execute_one(batch[i]);
   // `checkpoint_interval` counts logical requests; sn_ rests on a batch
   // boundary here, so checkpoints never land mid-batch.
   if (sn_ >= last_cp_ + checkpoint_interval_) {
     last_cp_ = sn_;
     checkpointer_->gen_cp(sn_, snapshot_state());
+  }
+}
+
+void BftReplica::drain_stash() {
+  while (!stash_.empty()) {
+    auto it = stash_.begin();
+    const SeqNr first = it->first;
+    const SeqNr last = first + static_cast<SeqNr>(it->second.size()) - 1;
+    if (last <= sn_) {
+      stash_.erase(it);  // fully covered by an adopted checkpoint
+      continue;
+    }
+    if (first > sn_ + 1) return;  // still gapped: wait for the checkpoint
+    std::vector<Bytes> batch = std::move(it->second);
+    stash_.erase(it);
+    apply_batch(first, batch);
   }
 }
 
@@ -162,7 +199,11 @@ Bytes BftReplica::snapshot_state() const {
 }
 
 void BftReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
-  pbft_->gc(s + 1);
+  // Adopt BEFORE collecting garbage: gc() advances the floor and delivers
+  // committed instances above it synchronously, so checking `s > sn_`
+  // afterwards would see the post-gap sequence number and skip the
+  // adoption — permanently losing the executions this replica missed
+  // below s (state divergence).
   last_cp_ = std::max(last_cp_, s);
   if (s > sn_) {
     try {
@@ -180,25 +221,69 @@ void BftReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
       replies_ = std::move(replies);
       for (const auto& [c, e] : replies_) t_[c] = std::max(t_[c], e.counter);
       sn_ = s;
+      // Pending requests the checkpoint proves already executed must stop
+      // driving view changes (we missed their commit while partitioned or
+      // down; nothing will ever deliver them here again).
+      pbft_->drop_pending_if([this](BytesView wire) {
+        try {
+          Reader fr(wire);
+          ClientFrame frame = ClientFrame::decode(fr);
+          auto it = t_.find(frame.req.client);
+          return it != t_.end() && frame.req.counter <= it->second;
+        } catch (const SerdeError&) {
+          return false;
+        }
+      });
     } catch (const SerdeError&) {
     }
   }
+  pbft_->gc(s + 1);
+  drain_stash();
 }
 
+void BftReplica::recover() { checkpointer_->fetch_cp(1); }
+
 BftSystem::BftSystem(World& world, BftConfig cfg) : world_(world), cfg_(std::move(cfg)) {
-  std::vector<NodeId> ids;
-  for (std::size_t i = 0; i < cfg_.sites.size(); ++i) ids.push_back(world_.allocate_id());
+  for (std::size_t i = 0; i < cfg_.sites.size(); ++i) ids_.push_back(world_.allocate_id());
   for (std::size_t i = 0; i < cfg_.sites.size(); ++i) {
-    replicas_.push_back(std::make_unique<BftReplica>(world_, ids[i], cfg_.sites[i],
-                                                     static_cast<std::uint32_t>(i), cfg_, ids,
+    replicas_.push_back(std::make_unique<BftReplica>(world_, ids_[i], cfg_.sites[i],
+                                                     static_cast<std::uint32_t>(i), cfg_, ids_,
                                                      cfg_.make_app()));
   }
 }
 
-std::vector<NodeId> BftSystem::replica_ids() const {
-  std::vector<NodeId> ids;
-  for (const auto& r : replicas_) ids.push_back(r->id());
-  return ids;
+std::vector<NodeId> BftSystem::replica_ids() const { return ids_; }
+
+bool BftSystem::crash_node(NodeId id) {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) {
+      replicas_[i].reset();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BftSystem::restart_node(NodeId id) {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) {
+      if (!replicas_[i]) {
+        replicas_[i] = std::make_unique<BftReplica>(world_, ids_[i], cfg_.sites[i],
+                                                    static_cast<std::uint32_t>(i), cfg_, ids_,
+                                                    cfg_.make_app());
+        replicas_[i]->recover();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BftSystem::is_crashed(NodeId id) const {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) return replicas_[i] == nullptr;
+  }
+  return false;
 }
 
 ClientGroupInfo BftSystem::client_info() const {

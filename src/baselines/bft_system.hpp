@@ -49,9 +49,16 @@ class BftReplica : public ComponentHost {
   [[nodiscard]] const Application& app() const { return *app_; }
   PbftReplica& consensus() { return *pbft_; }
 
+  /// Crash-recovery bootstrap: actively fetch the group's latest stable
+  /// checkpoint instead of waiting for the next periodic broadcast (which
+  /// may never come if client traffic stopped).
+  void recover();
+
  private:
   void handle_client(NodeId from, Reader& r);
   void on_deliver_batch(SeqNr first, const std::vector<Bytes>& batch);
+  void apply_batch(SeqNr first, const std::vector<Bytes>& batch);
+  void drain_stash();
   void execute_one(const Bytes& request);
   void reply_to(NodeId client, std::uint64_t counter, BytesView result, bool weak);
   Bytes snapshot_state() const;
@@ -71,6 +78,11 @@ class BftReplica : public ComponentHost {
     Bytes result;
   };
   std::map<NodeId, ReplyCacheEntry> replies_;
+  /// Deliveries above an execution gap (the consensus floor jumped past
+  /// instances this replica never executed, e.g. a view change while it
+  /// trailed). Held back until a checkpoint covers the gap — executing
+  /// them on stale state would silently diverge.
+  std::map<SeqNr, std::vector<Bytes>> stash_;
 };
 
 class BftSystem {
@@ -85,9 +97,18 @@ class BftSystem {
   [[nodiscard]] ClientGroupInfo client_info() const;
   std::unique_ptr<SpiderClient> make_client(Site site, Duration retry = 2 * kSecond);
 
+  // ---- crash-recovery (FaultPlan hooks) ----------------------------------
+  /// Destroys / rebuilds the replica process with this id (same semantics
+  /// as SpiderSystem: volatile state is lost, recovery happens through the
+  /// checkpoint protocol and PBFT view rejoin).
+  bool crash_node(NodeId id);
+  bool restart_node(NodeId id);
+  [[nodiscard]] bool is_crashed(NodeId id) const;
+
  private:
   World& world_;
   BftConfig cfg_;
+  std::vector<NodeId> ids_;
   std::vector<std::unique_ptr<BftReplica>> replicas_;
 };
 

@@ -1,0 +1,94 @@
+#include "check/history.hpp"
+
+#include <algorithm>
+
+#include "common/serde.hpp"
+#include "sim/world.hpp"
+
+namespace spider {
+
+const char* hist_op_name(HistOp op) {
+  switch (op) {
+    case HistOp::Put: return "put";
+    case HistOp::Del: return "del";
+    case HistOp::StrongGet: return "get";
+    case HistOp::WeakGet: return "weak-get";
+  }
+  return "?";
+}
+
+HistoryRecorder::OpId HistoryRecorder::invoke(std::uint64_t client, HistOp kind,
+                                              std::string key, Bytes arg) {
+  RecordedOp op;
+  op.client = client;
+  op.kind = kind;
+  op.key = std::move(key);
+  op.arg = std::move(arg);
+  op.invoke = world_.now();
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+void HistoryRecorder::respond(OpId id, bool ok, Bytes result) {
+  RecordedOp& op = ops_.at(id);
+  if (op.responded) return;  // double completion would be a client bug
+  op.responded = true;
+  op.respond = world_.now();
+  op.ok = ok;
+  op.result = std::move(result);
+}
+
+std::size_t HistoryRecorder::pending_count() const {
+  std::size_t n = 0;
+  for (const RecordedOp& op : ops_) {
+    if (!op.responded) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> HistoryRecorder::keys() const {
+  std::vector<std::string> out;
+  for (const RecordedOp& op : ops_) out.push_back(op.key);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Bytes HistoryRecorder::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(ops_.size()));
+  for (const RecordedOp& op : ops_) {
+    w.u64(op.client);
+    w.u8(static_cast<std::uint8_t>(op.kind));
+    w.bytes(to_bytes(op.key));
+    w.bytes(op.arg);
+    w.u64(static_cast<std::uint64_t>(op.invoke));
+    w.u64(static_cast<std::uint64_t>(op.respond));
+    w.boolean(op.responded);
+    w.boolean(op.ok);
+    w.bytes(op.result);
+  }
+  return std::move(w).take();
+}
+
+std::string HistoryRecorder::dump() const {
+  std::string out;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const RecordedOp& op = ops_[i];
+    out += "#" + std::to_string(i) + " c" + std::to_string(op.client) + " " +
+           hist_op_name(op.kind) + "(" + op.key;
+    if (op.kind == HistOp::Put) out += ", \"" + to_string(op.arg) + "\"";
+    out += ") inv=" + std::to_string(op.invoke);
+    if (op.responded) {
+      out += " resp=" + std::to_string(op.respond);
+      out += op.ok ? " ok" : " miss";
+      if (!op.is_write()) out += " -> \"" + to_string(op.result) + "\"";
+    } else {
+      out += " PENDING";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace spider

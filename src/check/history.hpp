@@ -1,0 +1,66 @@
+// Invocation/response history recording for correctness checking.
+//
+// Clients (Spider, baseline, sharded routers) log every KV operation's
+// invocation and response into a HistoryRecorder; the linearizability
+// checker (linearizer.hpp) then verifies the whole run instead of the
+// usual "no timeout happened" non-assertion. Timestamps come from the
+// World clock, so a recorded history is bit-identical across two runs of
+// the same seed — which is also how chaos failures are reproduced: dump
+// the seed, rerun, get the same history.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+
+namespace spider {
+
+class World;
+
+enum class HistOp : std::uint8_t { Put = 1, Del = 2, StrongGet = 3, WeakGet = 4 };
+
+const char* hist_op_name(HistOp op);
+
+struct RecordedOp {
+  std::uint64_t client = 0;
+  HistOp kind = HistOp::Put;
+  std::string key;
+  Bytes arg;           // value written (Put)
+  Time invoke = 0;
+  Time respond = 0;
+  bool responded = false;  // false: still pending when the history closed
+  bool ok = false;         // reply status (reads: key found)
+  Bytes result;            // value read (reads)
+
+  [[nodiscard]] bool is_write() const { return kind == HistOp::Put || kind == HistOp::Del; }
+};
+
+class HistoryRecorder {
+ public:
+  using OpId = std::size_t;
+
+  explicit HistoryRecorder(World& world) : world_(world) {}
+
+  /// Records an operation's invocation; returns the id to respond() with.
+  OpId invoke(std::uint64_t client, HistOp kind, std::string key, Bytes arg = {});
+  void respond(OpId id, bool ok, Bytes result = {});
+
+  [[nodiscard]] const std::vector<RecordedOp>& ops() const { return ops_; }
+  [[nodiscard]] std::size_t pending_count() const;
+  /// Distinct keys touched, sorted (the checker is per-key compositional).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Deterministic byte encoding of the whole history (seed-replay
+  /// byte-identity checks, CI failure artifacts).
+  [[nodiscard]] Bytes serialize() const;
+  /// Human-readable dump, one operation per line.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  World& world_;
+  std::vector<RecordedOp> ops_;
+};
+
+}  // namespace spider

@@ -1,0 +1,60 @@
+// Glue between KV clients and the HistoryRecorder.
+//
+// Every client type in the repo (SpiderClient for Spider and the PBFT/HFT
+// baselines, ShardedClient for sharded deployments) exposes the same
+// write/strong_read/weak_read(Bytes op, OpCallback) surface, so one set of
+// templates issues an operation and logs its invocation/response pair.
+// The response is recorded from inside the client callback, i.e. with the
+// completion timestamp the client observed.
+#pragma once
+
+#include "app/kvstore.hpp"
+#include "check/history.hpp"
+
+namespace spider {
+
+template <class Client>
+HistoryRecorder::OpId recorded_put(HistoryRecorder& h, Client& c, std::uint64_t client_id,
+                                   const std::string& key, const std::string& value) {
+  HistoryRecorder::OpId id = h.invoke(client_id, HistOp::Put, key, to_bytes(value));
+  c.write(kv_put(key, to_bytes(value)), [&h, id](Bytes reply, Duration) {
+    KvReply r = kv_decode_reply(reply);
+    h.respond(id, r.ok, std::move(r.value));
+  });
+  return id;
+}
+
+template <class Client>
+HistoryRecorder::OpId recorded_del(HistoryRecorder& h, Client& c, std::uint64_t client_id,
+                                   const std::string& key) {
+  HistoryRecorder::OpId id = h.invoke(client_id, HistOp::Del, key);
+  c.write(kv_del(key), [&h, id](Bytes reply, Duration) {
+    KvReply r = kv_decode_reply(reply);
+    h.respond(id, r.ok, std::move(r.value));
+  });
+  return id;
+}
+
+template <class Client>
+HistoryRecorder::OpId recorded_strong_get(HistoryRecorder& h, Client& c,
+                                          std::uint64_t client_id, const std::string& key) {
+  HistoryRecorder::OpId id = h.invoke(client_id, HistOp::StrongGet, key);
+  c.strong_read(kv_get(key), [&h, id](Bytes reply, Duration) {
+    KvReply r = kv_decode_reply(reply);
+    h.respond(id, r.ok, std::move(r.value));
+  });
+  return id;
+}
+
+template <class Client>
+HistoryRecorder::OpId recorded_weak_get(HistoryRecorder& h, Client& c,
+                                        std::uint64_t client_id, const std::string& key) {
+  HistoryRecorder::OpId id = h.invoke(client_id, HistOp::WeakGet, key);
+  c.weak_read(kv_get(key), [&h, id](Bytes reply, Duration) {
+    KvReply r = kv_decode_reply(reply);
+    h.respond(id, r.ok, std::move(r.value));
+  });
+  return id;
+}
+
+}  // namespace spider

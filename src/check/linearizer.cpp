@@ -1,0 +1,188 @@
+#include "check/linearizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace spider {
+
+namespace {
+
+constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// One strong operation projected onto a single key's register.
+struct KeyOp {
+  std::size_t idx = 0;  // index into the recorder (diagnostics)
+  bool is_write = false;
+  bool write_exists = false;  // Put => true, Del => false
+  Bytes value;                // written value, or expected read result
+  bool read_ok = false;       // read's reply status
+  Time inv = 0;
+  Time resp = kNever;  // kNever while pending
+  bool responded = false;
+};
+
+struct RegisterState {
+  bool exists = false;
+  const Bytes* value = nullptr;  // points into some KeyOp::value
+};
+
+bool read_matches(const KeyOp& r, const RegisterState& s) {
+  if (r.read_ok != s.exists) return false;
+  return !r.read_ok || (s.value != nullptr && r.value == *s.value);
+}
+
+/// Wing–Gong search. Returns true and fills `witness` with a valid
+/// linearization (indices into `ops`) on success.
+bool linearize(const std::vector<KeyOp>& ops, std::vector<std::size_t>& witness) {
+  const std::size_t n = ops.size();
+  std::uint64_t completed_mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].responded) completed_mask |= (1ull << i);
+  }
+
+  // Memo of failed search nodes: (linearized mask, index of last applied
+  // write + 1). Reads do not change the register, so these two values
+  // fully determine the remaining search space.
+  std::set<std::pair<std::uint64_t, std::size_t>> failed;
+
+  struct Frame {
+    std::uint64_t mask;
+    std::size_t last_write;  // n = none
+    std::size_t next = 0;    // next candidate index to try
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, n, 0});
+  witness.clear();
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if ((f.mask & completed_mask) == completed_mask) return true;
+
+    RegisterState state;
+    if (f.last_write != n) {
+      state.exists = ops[f.last_write].write_exists;
+      state.value = &ops[f.last_write].value;
+    }
+
+    bool descended = false;
+    for (std::size_t i = f.next; i < n; ++i) {
+      if (f.mask & (1ull << i)) continue;
+      // Minimality: no other unlinearized op may real-time-precede op i.
+      Time other_min = kNever;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || (f.mask & (1ull << j))) continue;
+        other_min = std::min(other_min, ops[j].resp);
+      }
+      if (other_min < ops[i].inv) continue;
+      if (!ops[i].is_write && !read_matches(ops[i], state)) continue;
+
+      std::uint64_t mask2 = f.mask | (1ull << i);
+      std::size_t last2 = ops[i].is_write ? i : f.last_write;
+      if (failed.count({mask2, last2 + 1})) continue;
+
+      f.next = i + 1;
+      witness.push_back(i);
+      stack.push_back({mask2, last2, 0});
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+
+    failed.insert({f.mask, f.last_write + 1});
+    stack.pop_back();
+    if (!witness.empty()) witness.pop_back();
+  }
+  return false;
+}
+
+/// Committed-prefix rule for one weak read: the result must equal the
+/// register after some prefix of the witness whose writes were all invoked
+/// before the read completed. A value written by a still-pending write
+/// (invoked before the read completed) is also legal — the write may
+/// commit after the history closed.
+bool weak_read_valid(const KeyOp& r, const std::vector<KeyOp>& ops,
+                     const std::vector<std::size_t>& witness) {
+  RegisterState state;  // initial: missing
+  if (read_matches(r, state)) return true;
+  for (std::size_t wi : witness) {
+    const KeyOp& w = ops[wi];
+    if (!w.is_write) continue;
+    if (w.inv > r.resp) break;  // later prefixes include an uncommitted write
+    state.exists = w.write_exists;
+    state.value = &w.value;
+    if (read_matches(r, state)) return true;
+  }
+  for (const KeyOp& w : ops) {
+    if (!w.is_write || w.responded || w.inv > r.resp) continue;
+    RegisterState s{w.write_exists, &w.value};
+    if (read_matches(r, s)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LinResult check_kv_history(const HistoryRecorder& h) {
+  const std::vector<RecordedOp>& all = h.ops();
+
+  for (const std::string& key : h.keys()) {
+    std::vector<KeyOp> strong;
+    std::vector<KeyOp> weak;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const RecordedOp& op = all[i];
+      if (op.key != key) continue;
+      if (!op.responded && !op.is_write()) continue;  // pending reads constrain nothing
+
+      KeyOp k;
+      k.idx = i;
+      k.inv = op.invoke;
+      k.responded = op.responded;
+      k.resp = op.responded ? op.respond : kNever;
+      switch (op.kind) {
+        case HistOp::Put:
+          k.is_write = true;
+          k.write_exists = true;
+          k.value = op.arg;
+          break;
+        case HistOp::Del:
+          k.is_write = true;
+          k.write_exists = false;
+          break;
+        case HistOp::StrongGet:
+        case HistOp::WeakGet:
+          k.read_ok = op.ok;
+          k.value = op.result;
+          break;
+      }
+      if (op.kind == HistOp::WeakGet) {
+        weak.push_back(std::move(k));
+      } else {
+        strong.push_back(std::move(k));
+      }
+    }
+    if (strong.size() > 62) {
+      return {false, "key \"" + key + "\": history too large (" +
+                         std::to_string(strong.size()) + " strong ops > 62)"};
+    }
+
+    std::vector<std::size_t> witness;
+    if (!linearize(strong, witness)) {
+      std::string diag = "key \"" + key + "\": strong history not linearizable; ops:";
+      for (const KeyOp& k : strong) diag += " #" + std::to_string(k.idx);
+      return {false, std::move(diag)};
+    }
+    for (const KeyOp& r : weak) {
+      if (!weak_read_valid(r, strong, witness)) {
+        return {false, "key \"" + key + "\": weak read #" + std::to_string(r.idx) +
+                           " violates the committed-prefix rule (result \"" +
+                           to_string(r.value) + "\", ok=" + (r.read_ok ? "1" : "0") + ")"};
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace spider

@@ -1,0 +1,41 @@
+// Per-key linearizability checker for recorded KV histories.
+//
+// Strong operations (Put / Del / StrongGet) must form a linearizable
+// register history per key; since the KV store composes independent
+// registers, per-key checking is equivalent to whole-store checking
+// (linearizability is P-compositional). The search is Wing & Gong's:
+// repeatedly pick an operation that no other pending operation
+// real-time-precedes, apply it to the register, and backtrack on read
+// mismatches, memoizing failed (linearized-set, register-state) pairs.
+//
+// Operations still pending when the history closes (e.g. a client whose
+// write was cut off by a crash) may have taken effect or not: the search
+// may linearize them anywhere after their invocation or drop them.
+//
+// Weakly consistent reads are checked against the *committed-prefix* rule
+// (paper §3.3: weak reads see a stale but valid prefix of the commit
+// order): the value must match the register state after some prefix of
+// the witness linearization whose writes were all invoked before the read
+// completed — arbitrary staleness is legal, fabricated or out-of-thin-air
+// values are not.
+#pragma once
+
+#include <string>
+
+#include "check/history.hpp"
+
+namespace spider {
+
+struct LinResult {
+  bool ok = true;
+  std::string error;  // diagnosis for the first violation found
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Checks every key of the recorded history; returns the first violation.
+/// Keys with more than 62 strong operations are rejected as "history too
+/// large" (shrink the workload per key instead of waiting on the search).
+LinResult check_kv_history(const HistoryRecorder& h);
+
+}  // namespace spider

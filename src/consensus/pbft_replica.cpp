@@ -218,7 +218,68 @@ void PbftReplica::propose(std::vector<Bytes> batch) {
   maybe_send_commit(s, e);
 }
 
+void PbftReplica::note_view_hint(std::uint32_t from_idx, ViewNr v) {
+  if (v <= view_) return;
+  ViewNr& h = view_hints_[from_idx];
+  h = std::max(h, v);
+
+  // Adopt the highest view v' > view_ that f+1 weight of members have
+  // authenticated traffic in: at least one correct replica reached v', and
+  // a correct replica only enters a view through a legitimate view change,
+  // so jumping there is safe (the log is reconciled below; sequence-number
+  // state recovers through gc()/checkpoints).
+  ViewNr best = view_;
+  for (const auto& [idx1, v1] : view_hints_) {
+    if (v1 <= view_) continue;
+    std::set<std::uint32_t> idxs;
+    for (const auto& [idx2, v2] : view_hints_) {
+      if (v2 >= v1) idxs.insert(idx2);
+    }
+    if (weight(idxs) >= cfg_.f + 1) best = std::max(best, v1);
+  }
+  if (best > view_) adopt_view(best);
+}
+
+void PbftReplica::adopt_view(ViewNr v) {
+  // Forward jump without a NewView message (crash-recovery rejoin). We
+  // never saw how the new primary resolved in-flight instances, so drop
+  // every uncommitted entry — the live quorum's traffic (or the next
+  // checkpoint) re-establishes them — and requeue their requests.
+  view_ = v;
+  ++views_adopted_;
+  vc_active_ = false;
+  if (vc_timer_ != EventQueue::kInvalidEvent) {
+    cancel_timer(vc_timer_);
+    vc_timer_ = EventQueue::kInvalidEvent;
+  }
+  if (batch_timer_ != EventQueue::kInvalidEvent) {
+    cancel_timer(batch_timer_);
+    batch_timer_ = EventQueue::kInvalidEvent;
+  }
+  vc_timeout_cur_ = cfg_.view_change_timeout;
+  for (auto it = vcs_.begin(); it != vcs_.end() && it->first <= view_;) it = vcs_.erase(it);
+
+  for (auto it = log_.begin(); it != log_.end();) {
+    if (it->second.committed) {
+      ++it;
+      continue;
+    }
+    for (const Bytes& req : it->second.requests) {
+      if (!req.empty()) in_log_.erase(digest_prefix(pbft::request_digest(req)));
+    }
+    it = log_.erase(it);
+  }
+  pending_order_.clear();
+  for (auto& [key, req] : pending_reqs_) {
+    if (!in_log_.count(key)) pending_order_.push_back(key);
+    arm_request_timer(key);
+  }
+  try_propose();
+  try_deliver();
+}
+
 void PbftReplica::handle_preprepare(std::uint32_t from_idx, pbft::PrePrepareMsg m) {
+  note_view_hint(from_idx, m.view);
   if (vc_active_ || m.view != view_) return;
   if (from_idx != primary_index(m.view)) return;
   if (m.requests.size() > std::max<std::uint64_t>(cfg_.max_batch, 1)) return;
@@ -267,6 +328,7 @@ void PbftReplica::handle_preprepare(std::uint32_t from_idx, pbft::PrePrepareMsg 
 }
 
 void PbftReplica::handle_prepare(std::uint32_t from_idx, pbft::PrepareMsg m) {
+  note_view_hint(from_idx, m.view);
   if (vc_active_ || m.view != view_ || !instance_relevant(m.seq)) return;
   Entry& e = log_[m.seq];
   if (e.has_preprepare && !(e.digest == m.digest)) return;  // digest mismatch
@@ -288,6 +350,7 @@ void PbftReplica::maybe_send_commit(SeqNr s, Entry& e) {
 }
 
 void PbftReplica::handle_commit(std::uint32_t from_idx, pbft::CommitMsg m) {
+  note_view_hint(from_idx, m.view);
   if (m.view != view_ || !instance_relevant(m.seq)) return;
   Entry& e = log_[m.seq];
   if (e.has_preprepare && !(e.digest == m.digest)) return;
@@ -341,6 +404,18 @@ void PbftReplica::try_deliver() {
     std::vector<Bytes> requests = e.requests;
     last_delivered_ = start + e.covers() - 1;
     deliver_requests(start, want, requests);
+  }
+}
+
+void PbftReplica::drop_pending_if(const std::function<bool(BytesView)>& stale) {
+  for (auto it = pending_reqs_.begin(); it != pending_reqs_.end();) {
+    if (stale(it->second)) {
+      cancel_request_timer(it->first);
+      it = pending_reqs_.erase(it);
+      // Stale keys left in pending_order_ are skipped by take_pending.
+    } else {
+      ++it;
+    }
   }
 }
 

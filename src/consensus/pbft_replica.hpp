@@ -74,6 +74,14 @@ class PbftReplica : public Component, public Agreement {
   void order(Bytes m) override;
   void gc(SeqNr s) override;
 
+  /// Drops pending (unordered) requests the predicate marks stale and
+  /// cancels their liveness timers. Used by the embedding after adopting
+  /// a checkpoint: requests it now knows were already executed elsewhere
+  /// must stop triggering view changes (this replica missed their commit,
+  /// e.g. across a partition or restart, so they would otherwise keep the
+  /// request timer firing forever on a quiescent system).
+  void drop_pending_if(const std::function<bool(BytesView)>& stale);
+
   // Component interface --------------------------------------------------
   void on_message(NodeId from, Reader& r) override;
 
@@ -84,6 +92,7 @@ class PbftReplica : public Component, public Agreement {
   [[nodiscard]] SeqNr floor() const { return floor_; }
   [[nodiscard]] std::size_t pending_count() const { return pending_reqs_.size(); }
   [[nodiscard]] std::uint64_t view_changes_started() const { return vc_started_; }
+  [[nodiscard]] std::uint64_t views_adopted() const { return views_adopted_; }
   [[nodiscard]] std::uint64_t batches_proposed() const { return batches_proposed_; }
   [[nodiscard]] std::uint64_t requests_proposed() const { return requests_proposed_; }
 
@@ -134,6 +143,13 @@ class PbftReplica : public Component, public Agreement {
   void handle_viewchange(std::uint32_t from_idx, pbft::ViewChangeMsg m);
   void handle_newview(std::uint32_t from_idx, pbft::NewViewMsg m);
 
+  /// View-rejoin evidence: a replica that fell behind on views (e.g. a
+  /// crash-recovered replica restarting in view 0 while the group moved
+  /// on) tracks the views peers authenticate their normal-case traffic
+  /// with, and jumps forward once f+1 weight is observed in a higher view.
+  void note_view_hint(std::uint32_t from_idx, ViewNr v);
+  void adopt_view(ViewNr v);
+
   void maybe_send_commit(SeqNr s, Entry& e);
   void try_deliver();
   void deliver_requests(SeqNr start, SeqNr from, const std::vector<Bytes>& requests);
@@ -157,6 +173,8 @@ class PbftReplica : public Component, public Agreement {
   EventQueue::EventId vc_timer_ = EventQueue::kInvalidEvent;
   Duration vc_timeout_cur_ = 0;
   std::uint64_t vc_started_ = 0;
+  std::uint64_t views_adopted_ = 0;
+  std::map<std::uint32_t, ViewNr> view_hints_;  // member -> highest view seen
 
   SeqNr floor_ = 0;           // everything <= floor_ is garbage-collected
   SeqNr next_seq_ = 1;        // next logical seq a primary assigns

@@ -352,6 +352,21 @@ void RcReceiver::on_message(NodeId from, Reader& r) {
     br.u8();
     irmc::MoveMsg mv = irmc::MoveMsg::decode(br);
     note_subchannel(mv.sc);
+
+    if (win_lo(mv.sc) > mv.p) {
+      // The sender requested a window we already moved past — it is behind
+      // on window state (e.g. a crash-recovered sender endpoint that lost
+      // its view of the channel). Grant it our current window start so it
+      // can flush sends queued behind the stale window.
+      irmc::MoveMsg grant{mv.sc, win_lo(mv.sc)};
+      Bytes gbody = grant.encode();
+      host().charge_mac();
+      Bytes gtag = crypto().mac(self(), from, auth_bytes(gbody));
+      Bytes gmsg = gbody;
+      gmsg.insert(gmsg.end(), gtag.begin(), gtag.end());
+      Component::send(from, gmsg);
+    }
+
     Position& cur = smoves_[{*idx, mv.sc}];
     if (mv.p <= cur) return;
     cur = mv.p;

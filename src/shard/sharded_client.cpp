@@ -41,6 +41,15 @@ ShardedClient::ShardedClient(World& world, ShardMap map,
   }
 }
 
+bool ShardedClient::adopt_map(const ShardMap& map) {
+  if (map.shard_count() != map_.shard_count()) {
+    throw std::invalid_argument("ShardedClient: adopted map must keep the shard count");
+  }
+  if (map.version() <= map_.version()) return false;  // stale or duplicate table
+  map_ = map;
+  return true;
+}
+
 std::uint32_t ShardedClient::route_op(BytesView op) const {
   KvParsedOp parsed = kv_parse_op(op, /*with_values=*/false);  // keys suffice for routing
   if (parsed.keys.empty()) {

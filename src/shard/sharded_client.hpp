@@ -80,6 +80,11 @@ class ShardedClient {
   using SizeCallback = std::function<void(std::uint64_t total, Duration)>;
   void size(SizeCallback cb);
 
+  /// Version-gated rebalance visibility: adopts `map` iff it is strictly
+  /// newer than the router's current table (same shard count); stale or
+  /// equal versions are ignored. Returns whether the table was adopted.
+  bool adopt_map(const ShardMap& map);
+
   // ---- introspection -----------------------------------------------------
   [[nodiscard]] std::uint32_t route_key(const std::string& key) const {
     return map_.shard_of(key);

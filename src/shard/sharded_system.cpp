@@ -58,4 +58,35 @@ void ShardedSpiderSystem::remove_group(std::uint32_t shard, GroupId g,
   cores_.at(shard)->remove_group(g, std::move(done));
 }
 
+void ShardedSpiderSystem::set_shard_map(ShardMap map) {
+  if (map.shard_count() != topo_.shards) {
+    throw std::invalid_argument(
+        "ShardedSpiderSystem: shard map must keep the deployment's shard count");
+  }
+  map_ = std::move(map);
+}
+
+bool ShardedSpiderSystem::crash_node(NodeId id) {
+  for (auto& core : cores_) {
+    if (core->crash_node(id)) return true;
+  }
+  return false;
+}
+
+bool ShardedSpiderSystem::restart_node(NodeId id) {
+  for (auto& core : cores_) {
+    if (core->restart_node(id)) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> ShardedSpiderSystem::replica_ids() const {
+  std::vector<NodeId> ids;
+  for (const auto& core : cores_) {
+    std::vector<NodeId> core_ids = core->replica_ids();
+    ids.insert(ids.end(), core_ids.begin(), core_ids.end());
+  }
+  return ids;
+}
+
 }  // namespace spider

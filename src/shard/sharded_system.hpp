@@ -56,6 +56,17 @@ class ShardedSpiderSystem {
   GroupId add_group(std::uint32_t shard, Region region, std::function<void()> done = {});
   void remove_group(std::uint32_t shard, GroupId g, std::function<void()> done = {});
 
+  // ---- crash-recovery (FaultPlan hooks) ----------------------------------
+  /// Routes to the core owning the replica id; see SpiderSystem.
+  bool crash_node(NodeId id);
+  bool restart_node(NodeId id);
+  /// Replica ids across every core, for fault-plan targeting.
+  [[nodiscard]] std::vector<NodeId> replica_ids() const;
+
+  /// Installs a rebalanced shard map; the new table only reaches routers
+  /// that adopt_map() it. The shard count is fixed by the deployment.
+  void set_shard_map(ShardMap map);
+
   [[nodiscard]] World& world() { return world_; }
   [[nodiscard]] const ShardedTopology& topology() const { return topo_; }
 

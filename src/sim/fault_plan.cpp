@@ -1,0 +1,261 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "sim/world.hpp"
+
+namespace spider {
+
+namespace {
+bool site_in(const Site& s, const std::vector<Site>& set) {
+  return std::find(set.begin(), set.end(), s) != set.end();
+}
+}  // namespace
+
+FaultPlan::FaultPlan(World& world) : world_(world), alive_(std::make_shared<bool>(true)) {
+  world_.net().set_fault_shaper(
+      [this](NodeId from, Site fs, NodeId to, Site ts) { return shape(from, fs, to, ts); });
+}
+
+FaultPlan::~FaultPlan() {
+  *alive_ = false;
+  world_.net().set_fault_shaper({});
+}
+
+std::uint64_t FaultPlan::link_key(NodeId a, NodeId b) {
+  NodeId lo = std::min(a, b), hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+LinkFault FaultPlan::shape(NodeId from, Site from_site, NodeId to, Site to_site) const {
+  LinkFault f;
+  for (const Partition& p : partitions_) {
+    const bool from_a = p.a.count(from) > 0 || site_in(from_site, p.sa);
+    const bool from_b = p.b.count(from) > 0 || site_in(from_site, p.sb);
+    const bool to_a = p.a.count(to) > 0 || site_in(to_site, p.sa);
+    const bool to_b = p.b.count(to) > 0 || site_in(to_site, p.sb);
+    if ((from_a && to_b) || (from_b && to_a)) {
+      f.cut = true;
+      return f;
+    }
+  }
+  auto it = link_mods_.find(link_key(from, to));
+  if (it != link_mods_.end()) {
+    f.extra_delay = it->second.extra_delay;
+    f.loss = it->second.loss;
+  }
+  return f;
+}
+
+void FaultPlan::schedule(Time t, std::string what, std::function<void()> fn) {
+  script_.emplace_back(t, std::move(what));
+  world_.queue().schedule_at(t, [this, alive = alive_, fn = std::move(fn)] {
+    if (!*alive) return;
+    ++actions_fired_;
+    fn();
+  });
+}
+
+void FaultPlan::remove_partition(std::uint64_t id) {
+  partitions_.erase(std::remove_if(partitions_.begin(), partitions_.end(),
+                                   [id](const Partition& p) { return p.id == id; }),
+                    partitions_.end());
+}
+
+void FaultPlan::partition_nodes_at(Time t, std::vector<NodeId> a, std::vector<NodeId> b,
+                                   Duration heal_after) {
+  std::uint64_t id = next_partition_id_++;
+  Partition part;
+  part.id = id;
+  part.a.insert(a.begin(), a.end());
+  part.b.insert(b.begin(), b.end());
+  schedule(t, "partition#" + std::to_string(id),
+           [this, part = std::move(part)] { partitions_.push_back(part); });
+  if (heal_after > 0) {
+    schedule(t + heal_after, "heal#" + std::to_string(id),
+             [this, id] { remove_partition(id); });
+  }
+}
+
+void FaultPlan::partition_sites_at(Time t, std::vector<Site> a, std::vector<Site> b,
+                                   Duration heal_after) {
+  std::uint64_t id = next_partition_id_++;
+  Partition part;
+  part.id = id;
+  part.sa = std::move(a);
+  part.sb = std::move(b);
+  schedule(t, "site-partition#" + std::to_string(id),
+           [this, part = std::move(part)] { partitions_.push_back(part); });
+  if (heal_after > 0) {
+    schedule(t + heal_after, "heal#" + std::to_string(id),
+             [this, id] { remove_partition(id); });
+  }
+}
+
+void FaultPlan::heal_at(Time t) {
+  schedule(t, "heal-all", [this] { partitions_.clear(); });
+}
+
+void FaultPlan::apply_crash(NodeId n) {
+  if (!crashed_.insert(n).second) return;  // already down
+  if (on_crash) {
+    on_crash(n);
+  } else {
+    world_.net().set_node_down(n, true);  // crash-stop fallback
+  }
+}
+
+void FaultPlan::apply_restart(NodeId n) {
+  if (crashed_.erase(n) == 0) return;  // not down
+  if (on_restart) {
+    on_restart(n);
+  } else {
+    world_.net().set_node_down(n, false);
+  }
+}
+
+void FaultPlan::crash_at(Time t, NodeId n) {
+  schedule(t, "crash node " + std::to_string(n), [this, n] { apply_crash(n); });
+}
+
+void FaultPlan::restart_at(Time t, NodeId n) {
+  schedule(t, "restart node " + std::to_string(n), [this, n] { apply_restart(n); });
+}
+
+void FaultPlan::link_delay_at(Time t, NodeId a, NodeId b, Duration extra, Duration duration) {
+  std::uint64_t key = link_key(a, b);
+  schedule(t, "delay+" + std::to_string(extra) + "us link " + std::to_string(a) + "<->" +
+                  std::to_string(b),
+           [this, key, extra, until = t + duration] {
+             LinkMod& m = link_mods_[key];
+             m.extra_delay = extra;
+             m.delay_until = std::max(m.delay_until, until);
+           });
+  schedule(t + duration, "delay-end link " + std::to_string(a) + "<->" + std::to_string(b),
+           [this, key] {
+             LinkMod& m = link_mods_[key];
+             if (world_.now() >= m.delay_until) m.extra_delay = 0;
+           });
+}
+
+void FaultPlan::link_loss_at(Time t, NodeId a, NodeId b, double loss, Duration duration) {
+  std::uint64_t key = link_key(a, b);
+  schedule(t, "loss " + std::to_string(loss) + " link " + std::to_string(a) + "<->" +
+                  std::to_string(b),
+           [this, key, loss, until = t + duration] {
+             LinkMod& m = link_mods_[key];
+             m.loss = loss;
+             m.loss_until = std::max(m.loss_until, until);
+           });
+  schedule(t + duration, "loss-end link " + std::to_string(a) + "<->" + std::to_string(b),
+           [this, key] {
+             LinkMod& m = link_mods_[key];
+             if (world_.now() >= m.loss_until) m.loss = 0.0;
+           });
+}
+
+void FaultPlan::slow_node_at(Time t, NodeId n, double factor, Duration duration) {
+  schedule(t, "slow node " + std::to_string(n) + " x" + std::to_string(factor),
+           [this, n, factor, until = t + duration] {
+             world_.net().set_node_bandwidth_factor(n, factor);
+             Time& cur = slow_until_[n];
+             cur = std::max(cur, until);
+           });
+  schedule(t + duration, "slow-end node " + std::to_string(n), [this, n] {
+    if (world_.now() >= slow_until_[n]) world_.net().set_node_bandwidth_factor(n, 1.0);
+  });
+}
+
+void FaultPlan::randomize(const ChaosProfile& profile) {
+  Rng rng = world_.rng().fork();
+
+  std::vector<NodeId> pool = profile.crash_targets;
+  for (const auto& g : profile.partition_groups) pool.insert(pool.end(), g.begin(), g.end());
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  if (pool.empty()) return;
+
+  // Busy intervals of in-progress crashes: (target, start, end).
+  std::vector<std::tuple<NodeId, Time, Time>> crash_busy;
+
+  for (std::size_t i = 0; i < profile.actions; ++i) {
+    const Time span = std::max<Time>(profile.horizon - profile.start, 1);
+    Time t = profile.start + static_cast<Time>(rng.uniform(static_cast<std::uint64_t>(span)));
+    Duration outage = profile.min_outage +
+                      static_cast<Duration>(rng.uniform(static_cast<std::uint64_t>(
+                          std::max<Duration>(profile.max_outage - profile.min_outage, 1))));
+    outage = std::min<Duration>(outage, profile.horizon - t);
+    if (outage <= 0) continue;
+
+    std::uint64_t kind = rng.uniform(5);
+    if (kind == 0 && !profile.crash_targets.empty()) {
+      NodeId target =
+          profile.crash_targets[rng.uniform(profile.crash_targets.size())];
+      // Respect the crash-concurrency cap; a disallowed crash degrades to a
+      // slow-node window so the action count stays seed-stable.
+      std::size_t overlapping = 0;
+      bool same_target = false;
+      for (const auto& [n, t0, t1] : crash_busy) {
+        if (t0 < t + outage && t < t1) ++overlapping;
+        // Same-target windows must not even touch: a restart and a crash
+        // scheduled at the same instant fire in scheduling order, which
+        // can revive the node right after the second crash no-ops —
+        // silently cancelling a fault the schedule claims to inject.
+        if (n == target && t0 <= t + outage && t <= t1) same_target = true;
+      }
+      if (!same_target && overlapping < profile.max_concurrent_crashes) {
+        crash_busy.emplace_back(target, t, t + outage);
+        crash_at(t, target);
+        restart_at(t + outage, target);
+        continue;
+      }
+      kind = 4;
+    }
+    if (kind == 1 && profile.partition_groups.size() >= 2) {
+      std::size_t side = rng.uniform(profile.partition_groups.size());
+      std::vector<NodeId> a = profile.partition_groups[side];
+      std::vector<NodeId> b;
+      for (std::size_t g = 0; g < profile.partition_groups.size(); ++g) {
+        if (g == side) continue;
+        b.insert(b.end(), profile.partition_groups[g].begin(),
+                 profile.partition_groups[g].end());
+      }
+      partition_nodes_at(t, std::move(a), std::move(b), outage);
+      continue;
+    }
+    if ((kind == 2 || kind == 3) && pool.size() >= 2) {
+      // Distinct endpoints by construction: offset from a's own index, so
+      // a self-link (which no message ever traverses) is impossible.
+      std::size_t ia = rng.uniform(pool.size());
+      NodeId a = pool[ia];
+      NodeId b = pool[(ia + 1 + rng.uniform(pool.size() - 1)) % pool.size()];
+      if (kind == 2) {
+        double loss = 0.05 + rng.uniform01() * (profile.max_loss - 0.05);
+        link_loss_at(t, a, b, loss, outage);
+      } else {
+        Duration extra = 1 + static_cast<Duration>(rng.uniform(
+                                 static_cast<std::uint64_t>(profile.max_extra_delay)));
+        link_delay_at(t, a, b, extra, outage);
+      }
+      continue;
+    }
+    NodeId n = pool[rng.uniform(pool.size())];
+    double factor =
+        profile.min_bw_factor + rng.uniform01() * (0.5 - profile.min_bw_factor);
+    slow_node_at(t, n, factor, outage);
+  }
+}
+
+std::string FaultPlan::describe() const {
+  std::vector<std::pair<Time, std::string>> sorted = script_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out;
+  for (const auto& [t, what] : sorted) {
+    out += "t=" + std::to_string(t) + "us  " + what + "\n";
+  }
+  return out;
+}
+
+}  // namespace spider

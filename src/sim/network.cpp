@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+
 #include "sim/node.hpp"
 
 namespace spider {
@@ -14,7 +16,27 @@ SimNetwork::SimNetwork(EventQueue& queue, Rng rng) : queue_(queue), rng_(rng) {}
 
 void SimNetwork::attach(SimNode* node) { nodes_[node->id()] = node; }
 
-void SimNetwork::detach(NodeId id) { nodes_.erase(id); }
+void SimNetwork::detach(NodeId id) {
+  if (nodes_.erase(id) > 0) ++incarnation_[id];
+}
+
+std::uint64_t SimNetwork::incarnation(NodeId id) const {
+  auto it = incarnation_.find(id);
+  return it == incarnation_.end() ? 0 : it->second;
+}
+
+void SimNetwork::set_node_bandwidth_factor(NodeId id, double factor) {
+  if (factor >= 1.0) {
+    bw_factor_.erase(id);
+  } else {
+    bw_factor_[id] = std::max(factor, 1e-6);
+  }
+}
+
+double SimNetwork::node_bandwidth_factor(NodeId id) const {
+  auto it = bw_factor_.find(id);
+  return it == bw_factor_.end() ? 1.0 : it->second;
+}
 
 bool SimNetwork::is_down(NodeId id) const {
   auto it = down_.find(id);
@@ -39,6 +61,12 @@ void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
   const std::size_t size = payload.size();
   const bool wan = is_wan(src->site(), dst->site());
 
+  // Fault shaping stacks on top of the user filter (checked above).
+  LinkFault fault;
+  if (fault_shaper_) fault = fault_shaper_(from, src->site(), to, dst->site());
+  if (fault.cut) return;
+  if (fault.loss > 0.0 && rng_.uniform01() < fault.loss) return;
+
   if (wan) {
     stats_.wan_bytes += size;
     stats_.wan_msgs += 1;
@@ -52,17 +80,24 @@ void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
 
   Duration base = one_way_latency(src->site(), dst->site());
   Duration jitter = static_cast<Duration>(rng_.uniform01() * jitter_frac * static_cast<double>(base));
-  Duration transmit = static_cast<Duration>(static_cast<double>(size) / bandwidth_bytes_per_us);
-  Time arrival = queue_.now() + fixed_overhead + base + jitter + transmit;
+  double bw = bandwidth_bytes_per_us *
+              std::min(node_bandwidth_factor(from), node_bandwidth_factor(to));
+  Duration transmit = static_cast<Duration>(static_cast<double>(size) / bw);
+  Time arrival = queue_.now() + fixed_overhead + base + jitter + transmit + fault.extra_delay;
 
   // Per-pair FIFO: never deliver earlier than a previously sent message.
   Time& clearance = pair_clearance_[pair_key(from, to)];
   if (arrival < clearance) arrival = clearance;
   clearance = arrival;
 
-  queue_.schedule_at(arrival, [this, from, to, msg = std::move(payload)]() mutable {
+  // A message is addressed to the destination *incarnation* that existed
+  // when it was sent: if the destination process restarted before arrival,
+  // the message is lost (its connections died with the old process).
+  const std::uint64_t to_inc = incarnation(to);
+  queue_.schedule_at(arrival, [this, from, to, to_inc, msg = std::move(payload)]() mutable {
     auto it = nodes_.find(to);
-    if (it == nodes_.end() || is_down(to) || is_down(from)) return;
+    if (it == nodes_.end() || incarnation(to) != to_inc) return;
+    if (is_down(to) || is_down(from)) return;
     it->second->deliver(from, std::move(msg));
   });
 }

@@ -32,6 +32,15 @@ struct PerNodeNetStats {
   std::uint64_t recv_bytes = 0;
 };
 
+/// Per-message fault effects produced by a fault shaper (see FaultPlan):
+/// a cut link drops deterministically, `loss` drops i.i.d. with the
+/// network RNG, `extra_delay` is added to the propagation delay.
+struct LinkFault {
+  bool cut = false;
+  double loss = 0.0;
+  Duration extra_delay = 0;
+};
+
 class SimNetwork {
  public:
   SimNetwork(EventQueue& queue, Rng rng);
@@ -51,6 +60,28 @@ class SimNetwork {
   void set_node_down(NodeId id, bool down);
   [[nodiscard]] bool is_down(NodeId id) const;
 
+  /// Fault shaper consulted *in addition to* the user link filter (the two
+  /// stack; neither replaces the other). Installed by FaultPlan to express
+  /// partitions, loss rates and delay spikes without clobbering a link
+  /// filter a test already set.
+  using FaultShaper =
+      std::function<LinkFault(NodeId from, Site from_site, NodeId to, Site to_site)>;
+  void set_fault_shaper(FaultShaper shaper) { fault_shaper_ = std::move(shaper); }
+
+  /// Slow-node mode: scales the node's NIC bandwidth by `factor` in (0, 1];
+  /// 1 restores full speed. A message's transmit time uses the slower of
+  /// the two endpoints (the throttled NIC bounds the link either way).
+  void set_node_bandwidth_factor(NodeId id, double factor);
+  [[nodiscard]] double node_bandwidth_factor(NodeId id) const;
+
+  /// Incarnation of a NodeId: bumped every time the node detaches. Defines
+  /// the in-flight semantics across a crash/restart: a message addressed to
+  /// an incarnation that no longer exists at arrival time is lost (its
+  /// connections died with the process), while messages sent *by* the old
+  /// incarnation that are already on the wire still arrive (datagrams in
+  /// flight do not care whether their sender lives).
+  [[nodiscard]] std::uint64_t incarnation(NodeId id) const;
+
   // ---- accounting ------------------------------------------------------
   LinkStats& stats() { return stats_; }
   PerNodeNetStats& node_stats(NodeId id) { return node_stats_[id]; }
@@ -69,10 +100,13 @@ class SimNetwork {
   Rng rng_;
   std::unordered_map<NodeId, SimNode*> nodes_;
   std::unordered_map<NodeId, bool> down_;
+  std::unordered_map<NodeId, std::uint64_t> incarnation_;
+  std::unordered_map<NodeId, double> bw_factor_;
   // Earliest time the next message on a (from,to) pair may arrive, to keep
   // per-pair FIFO under jitter.
   std::unordered_map<std::uint64_t, Time> pair_clearance_;
   std::function<bool(NodeId, NodeId)> filter_;
+  FaultShaper fault_shaper_;
   LinkStats stats_;
   std::unordered_map<NodeId, PerNodeNetStats> node_stats_;
 };

@@ -9,7 +9,10 @@ SimNode::SimNode(World& world, NodeId id, Site site) : world_(world), id_(id), s
   world_.net().attach(this);
 }
 
-SimNode::~SimNode() { world_.net().detach(id_); }
+SimNode::~SimNode() {
+  *alive_ = false;
+  world_.net().detach(id_);
+}
 
 Time SimNode::now() const { return world_.queue().now(); }
 
@@ -28,7 +31,9 @@ void SimNode::enqueue_task(std::function<void()> logic, Duration base_cost) {
 
 void SimNode::schedule_drain(Time at) {
   drain_scheduled_ = true;
-  world_.queue().schedule_at(at, [this] { drain(); });
+  world_.queue().schedule_at(at, [this, alive = alive_] {
+    if (*alive) drain();
+  });
 }
 
 void SimNode::drain() {
@@ -55,11 +60,13 @@ void SimNode::run_task(std::function<void()> logic, Duration base_cost) {
   busy_until_ = start + task_charge_;
   busy_accum_ += task_charge_;
 
-  // Outputs leave the node once the CPU work is done.
+  // Outputs leave the node once the CPU work is done. A node destroyed
+  // (crashed) before that point never got its messages onto the wire.
   if (!outbox_.empty()) {
     std::vector<std::pair<NodeId, Bytes>> out = std::move(outbox_);
     outbox_.clear();
-    world_.queue().schedule_at(busy_until_, [this, out = std::move(out)]() mutable {
+    world_.queue().schedule_at(busy_until_, [this, alive = alive_, out = std::move(out)]() mutable {
+      if (!*alive) return;
       for (auto& [to, data] : out) world_.net().send(id_, to, std::move(data));
     });
   }
@@ -92,11 +99,18 @@ void SimNode::send_to(NodeId to, Bytes data) {
 }
 
 EventQueue::EventId SimNode::set_timer(Duration delay, std::function<void()> fn) {
-  return world_.queue().schedule_after(delay, [this, fn = std::move(fn)]() {
+  return world_.queue().schedule_after(delay, [this, alive = alive_, fn = std::move(fn)]() {
+    if (!*alive) return;
     enqueue_task(fn, crypto().costs().proc_per_msg / 2);
   });
 }
 
 void SimNode::cancel_timer(EventQueue::EventId id) { world_.queue().cancel(id); }
+
+EventQueue::EventId SimNode::defer(Duration delay, std::function<void()> fn) {
+  return world_.queue().schedule_after(delay, [alive = alive_, fn = std::move(fn)]() {
+    if (*alive) fn();
+  });
+}
 
 }  // namespace spider

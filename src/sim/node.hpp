@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -58,6 +59,11 @@ class SimNode {
   EventQueue::EventId set_timer(Duration delay, std::function<void()> fn);
   void cancel_timer(EventQueue::EventId id);
 
+  /// Zero-cost deferral: like set_timer but models no CPU work (internal
+  /// pipeline bookkeeping, not protocol handling). Still guarded by this
+  /// node's liveness token, so it is safe across a crash (destruction).
+  EventQueue::EventId defer(Duration delay, std::function<void()> fn);
+
   // ---- stats -----------------------------------------------------------
   [[nodiscard]] Duration busy_time() const { return busy_accum_; }
   void reset_busy_time() { busy_accum_ = 0; }
@@ -76,6 +82,12 @@ class SimNode {
   World& world_;
   NodeId id_;
   Site site_;
+  // Liveness token captured by every event this node schedules on the
+  // world queue (drains, timers, outbox flushes). Destroying the node —
+  // how a process *crash* is modeled — flips it, turning all still-pending
+  // events into no-ops, so a replica can be torn down and later rebuilt
+  // under the same NodeId without dangling callbacks.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   Time busy_until_ = 0;
   Duration busy_accum_ = 0;
 

@@ -38,6 +38,10 @@ AgreementReplica::AgreementReplica(World& world, Site site, AgreementConfig cfg)
   checkpointer_ = std::make_unique<Checkpointer>(
       *this, tags::kCheckpoint, cfg_.members, cfg_.fa,
       [this](SeqNr s, BytesView state) { on_stable_checkpoint(s, state); });
+  checkpointer_->snapshot_now = [this] {
+    last_cp_ = std::max(last_cp_, sn_);
+    return std::make_pair(sn_, snapshot_state());
+  };
 
   registry_.version = 0;
   for (const RegistryEntry& g : cfg_.initial_groups) {
@@ -158,6 +162,20 @@ void AgreementReplica::on_deliver(SeqNr first, const std::vector<Bytes>& batch) 
 void AgreementReplica::process_queue() {
   while (!processing_ && !deliver_queue_.empty()) {
     auto& [first, batch] = deliver_queue_.front();
+    const SeqNr last = first + static_cast<SeqNr>(batch.size()) - 1;
+    if (last <= sn_) {
+      deliver_queue_.pop_front();  // covered by an adopted checkpoint
+      continue;
+    }
+    if (first > sn_ + 1) {
+      // Processing gap: the consensus floor jumped past batches this
+      // replica never processed (view change while trailing). Handling
+      // the batch now would build t_/hist_ on stale state and diverge;
+      // recover the missing prefix through an agreement checkpoint —
+      // its adoption re-enters process_queue.
+      checkpointer_->fetch_cp(first - 1);
+      return;
+    }
     if (first > win_hi_) return;  // L. 27: sleep until the window allows
     SeqNr start = first;
     std::vector<Bytes> requests = std::move(batch);
@@ -262,8 +280,11 @@ void AgreementReplica::dispatch_execute(const ExecuteBatchMsg& canonical, bool c
     ++*done;
     if (*done >= needed && !*resumed) {
       *resumed = true;
-      // Defer to a fresh event to keep the delivery pipeline iterative.
-      world().queue().schedule_after(0, [this] {
+      // Defer to a fresh event to keep the delivery pipeline iterative
+      // (defer is alive-guarded and cost-free: harmless if this replica
+      // crashes before the event fires, and no spurious CPU charge on the
+      // commit hot path).
+      defer(0, [this] {
         processing_ = false;
         process_queue();
       });
@@ -315,9 +336,12 @@ Bytes AgreementReplica::snapshot_state() const {
 }
 
 void AgreementReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
-  // Let consensus collect garbage before s+1 (Fig. 17, L. 42-46).
-  pbft_->gc(s + 1);
-
+  // Adopt BEFORE telling consensus to collect garbage: gc() advances the
+  // floor and synchronously delivers committed instances above it, so a
+  // trailing replica checking `s > sn_` after gc would see the post-gap
+  // sequence number and skip the adoption — permanently losing the
+  // Execute batches below s (state divergence; found by the chaos suite
+  // in the equivalent BFT-baseline path).
   bool adopted = false;
   SeqNr old_sn = sn_;
   if (s > sn_) {
@@ -345,6 +369,19 @@ void AgreementReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
         t_plus_[c] = std::max(t_plus_[c], tc + 1);
       }
       hist_ = std::move(hist2);
+      // Pending requests the checkpoint proves already agreed must stop
+      // driving view changes (their commit happened while we were cut
+      // off; it will not be delivered here again).
+      pbft_->drop_pending_if([this](BytesView wire) {
+        try {
+          Reader rr(wire);
+          RequestMsg req = RequestMsg::decode(rr);
+          auto it = t_.find(req.frame.req.client);
+          return it != t_.end() && req.frame.req.counter <= it->second;
+        } catch (const SerdeError&) {
+          return false;
+        }
+      });
       if (reg.version > registry_.version) {
         // Reconcile channels with the checkpointed registry.
         for (const RegistryEntry& e : reg.groups) setup_channel(e, /*backfill=*/false);
@@ -364,6 +401,9 @@ void AgreementReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
     }
   }
 
+  // Let consensus collect garbage before s+1 (Fig. 17, L. 42-46).
+  pbft_->gc(s + 1);
+
   // Move commit windows to the oldest retained batch boundary so stored
   // positions and window starts stay aligned.
   Position new_lo = hist_.empty() ? s + 1 : hist_.front().first();
@@ -380,6 +420,8 @@ void AgreementReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
   win_hi_ = s + cfg_.ag_win;
   process_queue();
 }
+
+void AgreementReplica::recover() { checkpointer_->fetch_cp(1); }
 
 void AgreementReplica::handle_registry_query(NodeId from) {
   Bytes body = registry_.encode();

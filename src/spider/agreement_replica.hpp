@@ -50,6 +50,11 @@ class AgreementReplica : public ComponentHost {
 
   void on_message(NodeId from, BytesView data) override;
 
+  /// Crash-recovery bootstrap: actively fetch the group's latest stable
+  /// agreement checkpoint instead of waiting for the next periodic one
+  /// (which may never come if client traffic stopped).
+  void recover();
+
   // Introspection ---------------------------------------------------------
   [[nodiscard]] SeqNr ordered_seq() const { return sn_; }
   [[nodiscard]] const RegistrySnapshot& registry() const { return registry_; }

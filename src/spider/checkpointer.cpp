@@ -153,19 +153,20 @@ void Checkpointer::retry_fetch() {
   });
 }
 
-void Checkpointer::send_state(NodeId to, SeqNr s) {
+bool Checkpointer::send_state(NodeId to, SeqNr s) {
   // Reply with our latest stable checkpoint if it satisfies the request.
-  if (stable_states_.empty()) return;
+  if (stable_states_.empty()) return false;
   auto it = stable_states_.rbegin();
-  if (it->first < s) return;
+  if (it->first < s) return false;
   Bytes proof = proof_for(it->first);
-  if (proof.empty()) return;
+  if (proof.empty()) return false;
   Writer w;
   w.u8(3);  // State
   w.u64(it->first);
   w.bytes(it->second);
   w.bytes(proof);
   Component::send(to, std::move(w).take());
+  return true;
 }
 
 void Checkpointer::handle_state(NodeId /*from*/, Reader& r) {
@@ -236,10 +237,17 @@ void Checkpointer::on_message(NodeId from, Reader& r) {
     p.sigs[from] = to_bytes(sig);
     check_stable(s);
   } else if (type == MsgType::Fetch) {
+    // Only trusted replicas may pull state — and, below, make every group
+    // member snapshot on demand. An untrusted node must not be able to
+    // force O(state) snapshot + sign + broadcast work on the whole group.
+    if (!trusted_(from)) return;
     Reader br(all);
     br.u8();
     SeqNr s = br.u64();
-    send_state(from, s);
+    if (!send_state(from, s) && snapshot_now) {
+      auto [seq, state] = snapshot_now();
+      if (seq > 0) gen_cp(seq, std::move(state));
+    }
   } else if (type == MsgType::State) {
     Reader br(all);
     br.u8();

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <set>
+#include <utility>
 
 #include "crypto/sha256.hpp"
 #include "sim/component.hpp"
@@ -40,6 +41,16 @@ class Checkpointer : public Component {
   /// fetch_cp.
   void add_fetch_peers(const std::vector<NodeId>& peers);
 
+  /// Checkpoint-on-demand: when a trusted peer asks for a checkpoint we
+  /// cannot serve (no stable state at or above the requested sequence
+  /// number), the checkpointer snapshots the embedding's current state via
+  /// this callback and runs a regular gen_cp on it. Once f+1 quiescent
+  /// replicas do so, the checkpoint stabilizes and the fetcher — and any
+  /// trailing group member — can adopt it. This is what makes crash
+  /// recovery work when the interval checkpoint never happened or traffic
+  /// has stopped. Returns (seq, state); seq 0 means nothing to snapshot.
+  std::function<std::pair<SeqNr, Bytes>()> snapshot_now;
+
   void on_message(NodeId from, Reader& r) override;
 
   [[nodiscard]] SeqNr last_stable() const { return last_stable_; }
@@ -55,7 +66,7 @@ class Checkpointer : public Component {
   void check_stable(SeqNr s);
   void deliver(SeqNr s, Bytes state);
   Bytes proof_for(SeqNr s) const;
-  void send_state(NodeId to, SeqNr s);
+  bool send_state(NodeId to, SeqNr s);
   void handle_state(NodeId from, Reader& r);
   void retry_fetch();
 

@@ -50,6 +50,10 @@ ExecutionReplica::ExecutionReplica(World& world, Site site, ExecutionConfig cfg,
       *this, tags::kCheckpoint, cfg_.members, cfg_.fe,
       [this](SeqNr s, BytesView state) { on_stable_checkpoint(s, state); },
       [trusted](NodeId n) { return trusted->count(n) > 0; });
+  checkpointer_->snapshot_now = [this] {
+    last_cp_ = std::max(last_cp_, sn_);
+    return std::make_pair(sn_, snapshot_state());
+  };
 
   request_next_execute();
 }
@@ -96,14 +100,21 @@ void ExecutionReplica::handle_client(NodeId from, Reader& r) {
   }
 
   std::uint64_t& last = t_[req.client];
-  if (req.counter <= last) {
-    // Retry of an old request: serve the cached reply if we have it.
+  if (req.counter < last) return;  // superseded by a newer request
+  if (req.counter == last) {
+    // Retry of the latest request: serve the cached reply if we have it.
     auto uit = replies_.find(req.client);
     if (uit != replies_.end() && uit->second.counter == req.counter &&
         !uit->second.placeholder) {
       reply_to(from, req.counter, uit->second.result, /*weak=*/false);
+      return;
     }
-    return;
+    // No reply yet: the request is still in flight, and our original
+    // forward may have been lost before reaching fs+1 agreement receivers
+    // (e.g. a partition cut the request channel right after we recorded
+    // the counter). Fall through and re-drive the channel with the
+    // identical Send — the receive side dedups, so the worst case is a
+    // redundant transmission (reliable-link retransmission model).
   }
 
   charge_verify();

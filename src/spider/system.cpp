@@ -81,97 +81,108 @@ SpiderSystem::SpiderSystem(World& world, SpiderTopology topology)
                                           ClientGroupInfo{}, topo_.client_retry);
 
   // Reserve ids: agreement replicas, then one block per execution group.
-  std::vector<NodeId> agreement_ids;
   const std::size_t na = 3 * topo_.fa + 1;
-  for (std::size_t i = 0; i < na; ++i) agreement_ids.push_back(world_.allocate_id());
+  for (std::size_t i = 0; i < na; ++i) agreement_ids_.push_back(world_.allocate_id());
 
-  std::vector<RegistryEntry> initial;
-  std::map<GroupId, std::vector<NodeId>> group_ids;
   for (Region r : topo_.exec_regions) {
     GroupId g = next_group_id_++;
     std::vector<NodeId> ids;
     for (std::size_t i = 0; i < 2 * topo_.fe + 1u; ++i) ids.push_back(world_.allocate_id());
-    initial.push_back(RegistryEntry{g, r, ids});
-    group_ids[g] = std::move(ids);
+    initial_entries_.push_back(RegistryEntry{g, r, ids});
+    group_members_[g] = std::move(ids);
     group_regions_[g] = r;
   }
 
   // Agreement group.
-  std::vector<Site> ag_sites = replica_sites(topo_.agreement_region, na);
+  agreement_sites_ = replica_sites(topo_.agreement_region, na);
   if (topo_.agreement_az_rotation != 0) {
-    std::rotate(ag_sites.begin(),
-                ag_sites.begin() + topo_.agreement_az_rotation % ag_sites.size(),
-                ag_sites.end());
+    std::rotate(agreement_sites_.begin(),
+                agreement_sites_.begin() + topo_.agreement_az_rotation % agreement_sites_.size(),
+                agreement_sites_.end());
   }
   for (std::size_t i = 0; i < na; ++i) {
-    AgreementConfig cfg;
-    cfg.self = agreement_ids[i];
-    cfg.members = agreement_ids;
-    cfg.my_index = static_cast<std::uint32_t>(i);
-    cfg.fa = topo_.fa;
-    cfg.fe = topo_.fe;
-    cfg.irmc_kind = topo_.irmc_kind;
-    cfg.ka = topo_.ka;
-    cfg.ag_win = topo_.ag_win;
-    cfg.max_batch = topo_.max_batch;
-    cfg.batch_delay = topo_.batch_delay;
-    cfg.z = topo_.z;
-    cfg.commit_capacity = topo_.commit_capacity;
-    cfg.request_capacity = topo_.request_capacity;
-    cfg.request_timeout = topo_.request_timeout;
-    cfg.view_change_timeout = topo_.view_change_timeout;
-    cfg.admin = admin_->id();
-    cfg.initial_groups = initial;
-    agreement_.push_back(std::make_unique<AgreementReplica>(world_, ag_sites[i], cfg));
+    agreement_.push_back(
+        std::make_unique<AgreementReplica>(world_, agreement_sites_[i], agreement_config(i)));
   }
 
   // Execution groups.
-  for (const RegistryEntry& entry : initial) {
-    groups_[entry.group] = build_group(entry.group, entry.region, entry.members);
+  for (const RegistryEntry& entry : initial_entries_) {
+    groups_[entry.group] = build_group(entry.group);
   }
   wire_checkpoint_peers();
 
-  admin_->switch_group(group_info(group_ids.begin()->first));
+  admin_->switch_group(group_info(group_members_.begin()->first));
 }
 
-std::vector<std::unique_ptr<ExecutionReplica>> SpiderSystem::build_group(
-    GroupId g, Region region, const std::vector<NodeId>& ids) {
+AgreementConfig SpiderSystem::agreement_config(std::size_t i) const {
+  AgreementConfig cfg;
+  cfg.self = agreement_ids_[i];
+  cfg.members = agreement_ids_;
+  cfg.my_index = static_cast<std::uint32_t>(i);
+  cfg.fa = topo_.fa;
+  cfg.fe = topo_.fe;
+  cfg.irmc_kind = topo_.irmc_kind;
+  cfg.ka = topo_.ka;
+  cfg.ag_win = topo_.ag_win;
+  cfg.max_batch = topo_.max_batch;
+  cfg.batch_delay = topo_.batch_delay;
+  cfg.z = topo_.z;
+  cfg.commit_capacity = topo_.commit_capacity;
+  cfg.request_capacity = topo_.request_capacity;
+  cfg.request_timeout = topo_.request_timeout;
+  cfg.view_change_timeout = topo_.view_change_timeout;
+  cfg.admin = admin_->id();
+  cfg.initial_groups = initial_entries_;
+  return cfg;
+}
+
+ExecutionConfig SpiderSystem::exec_config(GroupId g, std::size_t i) const {
+  ExecutionConfig cfg;
+  cfg.self = group_members_.at(g)[i];
+  cfg.group = g;
+  cfg.members = group_members_.at(g);
+  cfg.agreement = agreement_ids_;
+  cfg.fe = topo_.fe;
+  cfg.fa = topo_.fa;
+  cfg.irmc_kind = topo_.irmc_kind;
+  cfg.ke = topo_.ke;
+  cfg.commit_capacity = topo_.commit_capacity;
+  cfg.request_capacity = topo_.request_capacity;
+  return cfg;
+}
+
+std::unique_ptr<ExecutionReplica> SpiderSystem::build_exec_replica(GroupId g, std::size_t i) {
+  std::vector<Site> sites = replica_sites(group_regions_.at(g), group_members_.at(g).size());
+  return std::make_unique<ExecutionReplica>(world_, sites[i], exec_config(g, i),
+                                            topo_.make_app());
+}
+
+std::vector<std::unique_ptr<ExecutionReplica>> SpiderSystem::build_group(GroupId g) {
   std::vector<std::unique_ptr<ExecutionReplica>> replicas;
-  std::vector<Site> sites = replica_sites(region, ids.size());
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    ExecutionConfig cfg;
-    cfg.self = ids[i];
-    cfg.group = g;
-    cfg.members = ids;
-    cfg.agreement = agreement_ids();
-    cfg.fe = topo_.fe;
-    cfg.fa = topo_.fa;
-    cfg.irmc_kind = topo_.irmc_kind;
-    cfg.ke = topo_.ke;
-    cfg.commit_capacity = topo_.commit_capacity;
-    cfg.request_capacity = topo_.request_capacity;
-    replicas.push_back(
-        std::make_unique<ExecutionReplica>(world_, sites[i], cfg, topo_.make_app()));
-  }
+  const std::size_t n = group_members_.at(g).size();
+  for (std::size_t i = 0; i < n; ++i) replicas.push_back(build_exec_replica(g, i));
   return replicas;
+}
+
+std::vector<NodeId> SpiderSystem::checkpoint_peers_for(GroupId g) const {
+  std::vector<NodeId> others;
+  for (const auto& [g2, ids] : group_members_) {
+    if (g2 == g) continue;
+    others.insert(others.end(), ids.begin(), ids.end());
+  }
+  return others;
 }
 
 void SpiderSystem::wire_checkpoint_peers() {
   for (auto& [g1, reps1] : groups_) {
-    std::vector<NodeId> others;
-    for (auto& [g2, reps2] : groups_) {
-      if (g1 == g2) continue;
-      for (auto& r : reps2) others.push_back(r->id());
+    std::vector<NodeId> others = checkpoint_peers_for(g1);
+    for (auto& r : reps1) {
+      if (r) r->add_checkpoint_peers(others);
     }
-    for (auto& r : reps1) r->add_checkpoint_peers(others);
   }
 }
 
-std::vector<NodeId> SpiderSystem::agreement_ids() const {
-  std::vector<NodeId> ids;
-  for (const auto& a : agreement_) ids.push_back(a->id());
-  return ids;
-}
+std::vector<NodeId> SpiderSystem::agreement_ids() const { return agreement_ids_; }
 
 std::vector<GroupId> SpiderSystem::group_ids() const {
   std::vector<GroupId> ids;
@@ -183,7 +194,7 @@ ClientGroupInfo SpiderSystem::group_info(GroupId g) const {
   ClientGroupInfo info;
   info.group = g;
   info.fe = topo_.fe;
-  for (const auto& r : groups_.at(g)) info.members.push_back(r->id());
+  info.members = group_members_.at(g);
   return info;
 }
 
@@ -211,8 +222,9 @@ GroupId SpiderSystem::add_group(Region region, std::function<void()> done) {
   GroupId g = next_group_id_++;
   std::vector<NodeId> ids;
   for (std::size_t i = 0; i < 2 * topo_.fe + 1u; ++i) ids.push_back(world_.allocate_id());
-  groups_[g] = build_group(g, region, ids);
+  group_members_[g] = ids;
   group_regions_[g] = region;
+  groups_[g] = build_group(g);
   wire_checkpoint_peers();
 
   ReconfigCmd cmd{true, g, region, ids};
@@ -227,8 +239,73 @@ void SpiderSystem::remove_group(GroupId g, std::function<void()> done) {
   admin_->reconfig(cmd, [this, g, done = std::move(done)](Bytes, Duration) {
     groups_.erase(g);
     group_regions_.erase(g);
+    group_members_.erase(g);
     if (done) done();
   });
+}
+
+// ---------------------------------------------------------- crash-recovery
+
+bool SpiderSystem::crash_node(NodeId id) {
+  for (std::size_t i = 0; i < agreement_ids_.size(); ++i) {
+    if (agreement_ids_[i] == id) {
+      agreement_[i].reset();
+      return true;
+    }
+  }
+  for (auto& [g, ids] : group_members_) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == id) {
+        groups_.at(g)[i].reset();
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool SpiderSystem::restart_node(NodeId id) {
+  for (std::size_t i = 0; i < agreement_ids_.size(); ++i) {
+    if (agreement_ids_[i] == id) {
+      if (agreement_[i]) return true;  // already running
+      agreement_[i] =
+          std::make_unique<AgreementReplica>(world_, agreement_sites_[i], agreement_config(i));
+      agreement_[i]->recover();
+      return true;
+    }
+  }
+  for (auto& [g, ids] : group_members_) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == id) {
+        auto& slot = groups_.at(g)[i];
+        if (slot) return true;
+        slot = build_exec_replica(g, i);
+        slot->add_checkpoint_peers(checkpoint_peers_for(g));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool SpiderSystem::is_crashed(NodeId id) const {
+  for (std::size_t i = 0; i < agreement_ids_.size(); ++i) {
+    if (agreement_ids_[i] == id) return agreement_[i] == nullptr;
+  }
+  for (const auto& [g, ids] : group_members_) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == id) return groups_.at(g)[i] == nullptr;
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> SpiderSystem::replica_ids() const {
+  std::vector<NodeId> ids = agreement_ids_;
+  for (const auto& [g, members] : group_members_) {
+    ids.insert(ids.end(), members.begin(), members.end());
+  }
+  return ids;
 }
 
 }  // namespace spider

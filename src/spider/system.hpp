@@ -89,6 +89,21 @@ class SpiderSystem {
   /// Creates a client at `site` attached to the nearest execution group.
   std::unique_ptr<SpiderClient> make_client(Site site);
 
+  // ---- crash-recovery (FaultPlan hooks) ----------------------------------
+  /// Crashes the replica process with the given id: the object is
+  /// destroyed, so all volatile state (app state, logs, IRMC endpoint
+  /// state, timers) is lost; messages in flight to it are dropped.
+  /// Returns false if no replica of this deployment has that id.
+  bool crash_node(NodeId id);
+  /// Rebuilds a crashed replica under the same NodeId/site. The fresh
+  /// process re-initializes through the checkpoint/state-transfer path
+  /// (fetch_cp / commit-channel replay / PBFT view rejoin).
+  bool restart_node(NodeId id);
+  [[nodiscard]] bool is_crashed(NodeId id) const;
+  /// Every replica id of this deployment (agreement + execution), for
+  /// fault-plan targeting.
+  [[nodiscard]] std::vector<NodeId> replica_ids() const;
+
   // ---- runtime reconfiguration (paper §3.6) ------------------------------
   /// Starts 2fe+1 replicas in `region` and submits <AddGroup> through the
   /// admin client; cb fires when the reconfiguration has been agreed.
@@ -107,12 +122,24 @@ class SpiderSystem {
 
  private:
   std::vector<Site> replica_sites(Region home, std::size_t n) const;
-  std::vector<std::unique_ptr<ExecutionReplica>> build_group(GroupId g, Region region,
-                                                             const std::vector<NodeId>& ids);
+  AgreementConfig agreement_config(std::size_t i) const;
+  ExecutionConfig exec_config(GroupId g, std::size_t i) const;
+  std::unique_ptr<ExecutionReplica> build_exec_replica(GroupId g, std::size_t i);
+  /// Builds a whole execution group from the stored identity
+  /// (group_members_/group_regions_ must already hold the group).
+  std::vector<std::unique_ptr<ExecutionReplica>> build_group(GroupId g);
   void wire_checkpoint_peers();
+  [[nodiscard]] std::vector<NodeId> checkpoint_peers_for(GroupId g) const;
 
   World& world_;
   SpiderTopology topo_;
+  // Identity (NodeIds, sites, membership) is kept separately from the live
+  // objects: a crashed replica leaves a nullptr slot, and a restart
+  // rebuilds the object from the stored identity.
+  std::vector<NodeId> agreement_ids_;
+  std::vector<Site> agreement_sites_;
+  std::vector<RegistryEntry> initial_entries_;
+  std::map<GroupId, std::vector<NodeId>> group_members_;
   std::vector<std::unique_ptr<AgreementReplica>> agreement_;
   std::map<GroupId, std::vector<std::unique_ptr<ExecutionReplica>>> groups_;
   std::map<GroupId, Region> group_regions_;

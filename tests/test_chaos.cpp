@@ -1,0 +1,303 @@
+// Seed-swept chaos suite: random FaultPlans (crashes + restarts,
+// partitions, loss, delay spikes, slow nodes) against four deployment
+// shapes — Spider f=1, Spider f=2, the geo-replicated PBFT baseline, and a
+// 2-shard sharded deployment — with every client operation recorded and
+// the whole history checked for per-key linearizability (weak reads
+// against the committed-prefix rule). 16 seeds x 4 configs = 64 scenarios.
+//
+// On failure each scenario writes chaos_failure_<config>_seed<N>.txt
+// (fault schedule + full history) next to the test binary; CI uploads
+// these as artifacts. Reproduce locally with the seed from the test name —
+// scenarios are bit-deterministic (see SeedReplayIsByteIdentical).
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "baselines/bft_system.hpp"
+#include "check/linearizer.hpp"
+#include "shard/sharded_system.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/world.hpp"
+#include "spider/system.hpp"
+#include "tests/support/chaos.hpp"
+#include "tests/support/drive.hpp"
+
+namespace spider {
+namespace {
+
+enum class ChaosConfig : int { SpiderF1 = 0, SpiderF2 = 1, PbftBaseline = 2, Sharded2 = 3 };
+
+const char* config_name(ChaosConfig c) {
+  switch (c) {
+    case ChaosConfig::SpiderF1: return "spider_f1";
+    case ChaosConfig::SpiderF2: return "spider_f2";
+    case ChaosConfig::PbftBaseline: return "pbft_baseline";
+    case ChaosConfig::Sharded2: return "sharded_2";
+  }
+  return "?";
+}
+
+struct ChaosOutcome {
+  bool completed = false;      // every op (incl. final reads) got a reply
+  std::size_t pending = 0;
+  std::size_t total_ops = 0;
+  LinResult lin;
+  bool no_lost_writes = true;
+  std::string lost_diag;
+  std::string fault_script;
+  std::string history_dump;
+  Bytes history;
+};
+
+/// Runs the common chaos phases once the config-specific setup produced
+/// client handles, fault targets and partition groups.
+struct ScenarioParts {
+  std::vector<chaos::ClientHandle> handles;
+  chaos::ClientHandle reader;  // used for the final per-key strong reads
+  std::vector<NodeId> crash_targets;
+  std::vector<std::vector<NodeId>> partition_groups;
+  std::uint32_t max_concurrent_crashes = 1;
+  std::size_t ops_per_client = 10;
+};
+
+ChaosOutcome drive_chaos(World& world, HistoryRecorder& hist, FaultPlan& plan,
+                         ScenarioParts parts) {
+  FaultPlan::ChaosProfile profile;
+  profile.crash_targets = std::move(parts.crash_targets);
+  profile.partition_groups = std::move(parts.partition_groups);
+  profile.start = 2 * kSecond;
+  profile.horizon = 18 * kSecond;
+  profile.actions = 5;
+  profile.max_concurrent_crashes = parts.max_concurrent_crashes;
+  plan.randomize(profile);
+
+  chaos::WorkloadOptions opt;
+  opt.ops_per_client = parts.ops_per_client;
+  opt.mean_gap = 900 * kMillisecond;
+  std::vector<std::string> keys = chaos::key_pool(6);
+  chaos::schedule_workload(world, parts.handles, keys, opt);
+
+  ChaosOutcome out;
+  out.fault_script = plan.describe();
+
+  // Chaos phase: every fault ends by the horizon (restarts included).
+  world.run_until(profile.horizon + kSecond);
+  // Recovery phase: all in-flight operations must complete (clients retry
+  // forever; a recovered system answers them all).
+  drive::run_until(world, [&] { return hist.pending_count() == 0; }, 150 * kSecond);
+
+  // Verification phase: a final strong read per key pins the outcome of
+  // every acknowledged write into the checked history.
+  for (const std::string& k : keys) parts.reader.strong_get(k);
+  drive::run_until(world, [&] { return hist.pending_count() == 0; }, 60 * kSecond);
+
+  out.pending = hist.pending_count();
+  out.completed = out.pending == 0;
+  out.total_ops = hist.ops().size();
+  out.lin = check_kv_history(hist);
+
+  // "No acknowledged write is lost", checked directly: the workload never
+  // deletes, so a key with at least one acked Put must be found by its
+  // final strong read, and any value read must have been written.
+  const auto& ops = hist.ops();
+  for (const std::string& k : keys) {
+    bool acked_put = false;
+    for (const RecordedOp& op : ops) {
+      if (op.kind == HistOp::Put && op.key == k && op.responded) acked_put = true;
+    }
+    const RecordedOp* final_read = nullptr;
+    for (const RecordedOp& op : ops) {
+      if (op.client == 99 && op.key == k) final_read = &op;
+    }
+    if (final_read == nullptr || !final_read->responded) continue;  // caught by `completed`
+    if (acked_put && !final_read->ok) {
+      out.no_lost_writes = false;
+      out.lost_diag += "key " + k + ": acked put but final read missed; ";
+    }
+    if (final_read->ok) {
+      bool written = false;
+      for (const RecordedOp& op : ops) {
+        if (op.kind == HistOp::Put && op.key == k && op.arg == final_read->result) {
+          written = true;
+        }
+      }
+      if (!written) {
+        out.no_lost_writes = false;
+        out.lost_diag += "key " + k + ": final read returned a never-written value; ";
+      }
+    }
+  }
+
+  out.history_dump = hist.dump();
+  out.history = hist.serialize();
+  return out;
+}
+
+ChaosOutcome run_chaos(ChaosConfig config, std::uint64_t seed) {
+  World world(seed);
+  HistoryRecorder hist(world);
+
+  switch (config) {
+    case ChaosConfig::SpiderF1:
+    case ChaosConfig::SpiderF2: {
+      SpiderTopology topo;
+      topo.ka = 8;
+      topo.ke = 8;
+      topo.ag_win = 32;
+      topo.commit_capacity = 16;
+      topo.client_retry = kSecond;
+      topo.request_timeout = kSecond;
+      topo.view_change_timeout = 2 * kSecond;
+      if (config == ChaosConfig::SpiderF2) {
+        topo.fa = 2;
+        topo.fe = 2;
+        topo.exec_regions = {Region::Virginia, Region::Oregon};
+      } else {
+        topo.exec_regions = {Region::Virginia, Region::Tokyo};
+      }
+      SpiderSystem sys(world, topo);
+      FaultPlan plan(world);
+      plan.on_crash = [&sys](NodeId n) { sys.crash_node(n); };
+      plan.on_restart = [&sys](NodeId n) { sys.restart_node(n); };
+
+      std::vector<std::unique_ptr<SpiderClient>> clients;
+      clients.push_back(sys.make_client(Site{Region::Virginia, 0}));
+      clients.push_back(sys.make_client(Site{topo.exec_regions.back(), 0}));
+      clients.push_back(sys.make_client(Site{Region::Oregon, 1}));
+
+      ScenarioParts parts;
+      for (std::size_t i = 0; i < clients.size(); ++i) {
+        parts.handles.push_back(chaos::ClientHandle::wrap(hist, *clients[i], i));
+      }
+      parts.reader = chaos::ClientHandle::wrap(hist, *clients[0], 99);
+      parts.crash_targets = sys.replica_ids();
+      parts.partition_groups.push_back(sys.agreement_ids());
+      for (GroupId g : sys.group_ids()) {
+        std::vector<NodeId> members;
+        for (std::size_t i = 0; i < sys.group_size(g); ++i) members.push_back(sys.exec(g, i).id());
+        parts.partition_groups.push_back(std::move(members));
+      }
+      parts.max_concurrent_crashes = config == ChaosConfig::SpiderF2 ? 2 : 1;
+      return drive_chaos(world, hist, plan, std::move(parts));
+    }
+
+    case ChaosConfig::PbftBaseline: {
+      BftConfig cfg;
+      cfg.sites = {Site{Region::Virginia, 0}, Site{Region::Oregon, 0}, Site{Region::Ireland, 0},
+                   Site{Region::Tokyo, 0}};
+      cfg.checkpoint_interval = 8;
+      cfg.request_timeout = 2 * kSecond;
+      cfg.view_change_timeout = 3 * kSecond;
+      BftSystem sys(world, cfg);
+      FaultPlan plan(world);
+      plan.on_crash = [&sys](NodeId n) { sys.crash_node(n); };
+      plan.on_restart = [&sys](NodeId n) { sys.restart_node(n); };
+
+      std::vector<std::unique_ptr<SpiderClient>> clients;
+      clients.push_back(sys.make_client(Site{Region::Virginia, 1}));
+      clients.push_back(sys.make_client(Site{Region::Tokyo, 1}));
+
+      ScenarioParts parts;
+      for (std::size_t i = 0; i < clients.size(); ++i) {
+        parts.handles.push_back(chaos::ClientHandle::wrap(hist, *clients[i], i));
+      }
+      parts.reader = chaos::ClientHandle::wrap(hist, *clients[0], 99);
+      parts.crash_targets = sys.replica_ids();
+      for (NodeId n : sys.replica_ids()) parts.partition_groups.push_back({n});
+      parts.ops_per_client = 8;  // WAN consensus: each op takes ~2 RTTs
+      return drive_chaos(world, hist, plan, std::move(parts));
+    }
+
+    case ChaosConfig::Sharded2: {
+      ShardedTopology topo;
+      topo.shards = 2;
+      topo.base.exec_regions = {Region::Virginia};
+      topo.base.ka = 8;
+      topo.base.ke = 8;
+      topo.base.ag_win = 32;
+      topo.base.commit_capacity = 16;
+      topo.base.client_retry = kSecond;
+      topo.base.request_timeout = kSecond;
+      topo.base.view_change_timeout = 2 * kSecond;
+      ShardedSpiderSystem sys(world, topo);
+      FaultPlan plan(world);
+      plan.on_crash = [&sys](NodeId n) { sys.crash_node(n); };
+      plan.on_restart = [&sys](NodeId n) { sys.restart_node(n); };
+
+      std::vector<std::unique_ptr<ShardedClient>> clients;
+      clients.push_back(sys.make_client(Site{Region::Virginia, 0}));
+      clients.push_back(sys.make_client(Site{Region::Virginia, 1}));
+
+      ScenarioParts parts;
+      for (std::size_t i = 0; i < clients.size(); ++i) {
+        parts.handles.push_back(chaos::ClientHandle::wrap(hist, *clients[i], i));
+      }
+      parts.reader = chaos::ClientHandle::wrap(hist, *clients[0], 99);
+      parts.crash_targets = sys.replica_ids();
+      for (std::uint32_t s = 0; s < sys.shard_count(); ++s) {
+        parts.partition_groups.push_back(sys.core(s).agreement_ids());
+        for (GroupId g : sys.core(s).group_ids()) {
+          std::vector<NodeId> members;
+          for (std::size_t i = 0; i < sys.core(s).group_size(g); ++i) {
+            members.push_back(sys.core(s).exec(g, i).id());
+          }
+          parts.partition_groups.push_back(std::move(members));
+        }
+      }
+      return drive_chaos(world, hist, plan, std::move(parts));
+    }
+  }
+  return {};
+}
+
+void write_failure_artifact(ChaosConfig config, std::uint64_t seed, const ChaosOutcome& out) {
+  std::string path = std::string("chaos_failure_") + config_name(config) + "_seed" +
+                     std::to_string(seed) + ".txt";
+  std::ofstream f(path);
+  f << "config: " << config_name(config) << "\nseed: " << seed
+    << "\ncompleted: " << out.completed << " (pending " << out.pending << "/" << out.total_ops
+    << ")\nlinearizable: " << out.lin.ok << " " << out.lin.error
+    << "\nlost-writes: " << out.lost_diag << "\n\n== fault schedule ==\n"
+    << out.fault_script << "\n== recorded history ==\n"
+    << out.history_dump;
+  ADD_FAILURE() << "chaos scenario failed; artifact written to " << path
+                << " — reproduce with config=" << config_name(config) << " seed=" << seed;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ChaosSweep, LinearizableAndNoAckedWriteLost) {
+  ChaosConfig config = static_cast<ChaosConfig>(std::get<0>(GetParam()));
+  std::uint64_t seed = std::get<1>(GetParam());
+  ChaosOutcome out = run_chaos(config, seed);
+  if (!out.completed || !out.lin.ok || !out.no_lost_writes) {
+    write_failure_artifact(config, seed, out);
+  }
+  EXPECT_TRUE(out.completed) << out.pending << " of " << out.total_ops << " ops never completed";
+  EXPECT_TRUE(out.lin.ok) << out.lin.error;
+  EXPECT_TRUE(out.no_lost_writes) << out.lost_diag;
+}
+
+std::string chaos_param_name(const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& i) {
+  return std::string(config_name(static_cast<ChaosConfig>(std::get<0>(i.param)))) + "_seed" +
+         std::to_string(std::get<1>(i.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chaos, ChaosSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Range<std::uint64_t>(1, 17)),
+                         chaos_param_name);
+
+TEST(ChaosDeterminism, SeedReplayIsByteIdentical) {
+  ChaosOutcome a = run_chaos(ChaosConfig::SpiderF1, 7);
+  ChaosOutcome b = run_chaos(ChaosConfig::SpiderF1, 7);
+  EXPECT_EQ(a.fault_script, b.fault_script);
+  EXPECT_EQ(a.history, b.history);
+  EXPECT_FALSE(a.history.empty());
+
+  ChaosOutcome c = run_chaos(ChaosConfig::SpiderF1, 8);
+  EXPECT_NE(c.history, a.history);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,17 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "sim/world.hpp"
 #include "spider/checkpointer.hpp"
 
 namespace spider {
 namespace {
 
-/// Group of 3 hosts (f=1) each with a checkpoint component.
+/// Group of 3 hosts (f=1) each with a checkpoint component. The trusted
+/// set is shared and extensible, mirroring how the real replicas register
+/// members of newly added groups (add_checkpoint_peers).
 struct CkptFixture {
   World world{1};
   std::vector<std::unique_ptr<ComponentHost>> hosts;
   std::vector<std::unique_ptr<Checkpointer>> cps;
   std::vector<std::vector<std::pair<SeqNr, Bytes>>> stable;
+  std::shared_ptr<std::set<NodeId>> trusted = std::make_shared<std::set<NodeId>>();
 
   explicit CkptFixture(std::uint32_t n = 3, std::uint32_t f = 1) {
     std::vector<NodeId> ids;
@@ -19,6 +24,7 @@ struct CkptFixture {
       hosts.push_back(std::make_unique<ComponentHost>(
           world, world.allocate_id(), Site{Region::Virginia, static_cast<std::uint8_t>(i % 3)}));
       ids.push_back(hosts.back()->id());
+      trusted->insert(hosts.back()->id());
     }
     stable.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -27,7 +33,8 @@ struct CkptFixture {
           *hosts[i], tags::kCheckpoint, ids, f,
           [this, idx](SeqNr s, BytesView state) {
             stable[idx].emplace_back(s, to_bytes(state));
-          }));
+          },
+          [t = trusted](NodeId id) { return t->count(id) > 0; }));
     }
   }
 
@@ -100,9 +107,12 @@ TEST(Checkpointer, FetchFromGroupPeer) {
   f.world.run_for(kSecond);
   ASSERT_EQ(f.stable[2].size(), 1u);  // replica 2 already pulled it
 
-  // A fourth, freshly joining host (same trusted group) can fetch it too.
+  // A fourth, freshly joining host can fetch it too — once the existing
+  // replicas trust it (in the real system: registered via the registry /
+  // add_checkpoint_peers).
   auto host = std::make_unique<ComponentHost>(f.world, f.world.allocate_id(),
                                               Site{Region::Virginia, 0});
+  f.trusted->insert(host->id());
   std::vector<NodeId> group;
   for (auto& h : f.hosts) group.push_back(h->id());
   group.push_back(host->id());
@@ -119,6 +129,29 @@ TEST(Checkpointer, FetchFromGroupPeer) {
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].first, 30u);
   EXPECT_EQ(got[0].second, st);
+}
+
+TEST(Checkpointer, UntrustedFetcherIsIgnored) {
+  // A node outside the trusted set can neither pull state nor force the
+  // group into on-demand snapshots (Fetch is dropped up front).
+  CkptFixture f;
+  Bytes st = CkptFixture::state(7);
+  f.cps[0]->gen_cp(30, st);
+  f.cps[1]->gen_cp(30, st);
+  f.world.run_for(kSecond);
+
+  auto outsider = std::make_unique<ComponentHost>(f.world, f.world.allocate_id(),
+                                                  Site{Region::Virginia, 0});
+  std::vector<NodeId> group;
+  for (auto& h : f.hosts) group.push_back(h->id());
+  group.push_back(outsider->id());
+  std::vector<std::pair<SeqNr, Bytes>> got;
+  Checkpointer thief(
+      *outsider, tags::kCheckpoint, group, 1,
+      [&](SeqNr s, BytesView state) { got.emplace_back(s, to_bytes(state)); });
+  thief.fetch_cp(30);
+  f.world.run_for(2 * kSecond);
+  EXPECT_TRUE(got.empty());
 }
 
 TEST(Checkpointer, FetchRetriesUntilAvailable) {

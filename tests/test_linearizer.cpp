@@ -1,0 +1,211 @@
+// Unit tests for the history recorder and the per-key Wing–Gong
+// linearizability checker — including the cases that matter most for a
+// checker: it must REJECT bad histories, not just accept good ones.
+#include <gtest/gtest.h>
+
+#include "check/linearizer.hpp"
+#include "sim/world.hpp"
+
+namespace spider {
+namespace {
+
+/// Builds histories with hand-placed timestamps by driving the World clock.
+struct HistBuilder {
+  World world{1};
+  HistoryRecorder hist{world};
+
+  void at(Time t) { world.run_until(t); }
+
+  HistoryRecorder::OpId put(std::uint64_t c, const std::string& k, const std::string& v,
+                            Time inv, Time resp) {
+    at(inv);
+    auto id = hist.invoke(c, HistOp::Put, k, to_bytes(v));
+    at(resp);
+    hist.respond(id, true);
+    return id;
+  }
+  HistoryRecorder::OpId get(std::uint64_t c, const std::string& k, bool ok,
+                            const std::string& v, Time inv, Time resp,
+                            HistOp kind = HistOp::StrongGet) {
+    at(inv);
+    auto id = hist.invoke(c, kind, k);
+    at(resp);
+    hist.respond(id, ok, to_bytes(v));
+    return id;
+  }
+  HistoryRecorder::OpId pending_put(std::uint64_t c, const std::string& k,
+                                    const std::string& v, Time inv) {
+    at(inv);
+    return hist.invoke(c, HistOp::Put, k, to_bytes(v));
+  }
+};
+
+TEST(Linearizer, EmptyAndTrivialHistoriesPass) {
+  HistBuilder b;
+  EXPECT_TRUE(check_kv_history(b.hist).ok);
+  b.put(1, "x", "a", 10, 20);
+  b.get(1, "x", true, "a", 30, 40);
+  EXPECT_TRUE(check_kv_history(b.hist).ok);
+}
+
+TEST(Linearizer, MissBeforeFirstWritePasses) {
+  HistBuilder b;
+  b.get(1, "x", false, "", 0, 5);
+  b.put(1, "x", "a", 10, 20);
+  EXPECT_TRUE(check_kv_history(b.hist).ok);
+}
+
+TEST(Linearizer, StaleStrongReadRejected) {
+  HistBuilder b;
+  b.put(1, "x", "a", 10, 20);
+  b.put(1, "x", "b", 30, 40);
+  // Strictly after the second write completed, a strong read must see "b".
+  b.get(2, "x", true, "a", 50, 60);
+  LinResult r = check_kv_history(b.hist);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("key \"x\""), std::string::npos);
+}
+
+TEST(Linearizer, FabricatedValueRejected) {
+  HistBuilder b;
+  b.put(1, "x", "a", 10, 20);
+  b.get(2, "x", true, "never-written", 30, 40);
+  EXPECT_FALSE(check_kv_history(b.hist).ok);
+}
+
+TEST(Linearizer, LostAcknowledgedWriteRejected) {
+  HistBuilder b;
+  b.put(1, "x", "a", 10, 20);  // acked
+  b.get(2, "x", false, "", 30, 40);  // read misses it: write lost
+  EXPECT_FALSE(check_kv_history(b.hist).ok);
+}
+
+TEST(Linearizer, ConcurrentWritesAllowEitherOrder) {
+  HistBuilder b;
+  // Two overlapping writes; a later read may see either one (but the
+  // read's own order constraints still apply).
+  b.world.run_until(10);
+  auto w1 = b.hist.invoke(1, HistOp::Put, "x", to_bytes(std::string("a")));
+  b.world.run_until(12);
+  auto w2 = b.hist.invoke(2, HistOp::Put, "x", to_bytes(std::string("b")));
+  b.world.run_until(30);
+  b.hist.respond(w1, true);
+  b.hist.respond(w2, true);
+  b.get(3, "x", true, "a", 40, 50);
+  EXPECT_TRUE(check_kv_history(b.hist).ok);
+
+  HistBuilder b2;
+  b2.world.run_until(10);
+  auto v1 = b2.hist.invoke(1, HistOp::Put, "x", to_bytes(std::string("a")));
+  b2.world.run_until(12);
+  auto v2 = b2.hist.invoke(2, HistOp::Put, "x", to_bytes(std::string("b")));
+  b2.world.run_until(30);
+  b2.hist.respond(v1, true);
+  b2.hist.respond(v2, true);
+  b2.get(3, "x", true, "b", 40, 50);
+  EXPECT_TRUE(check_kv_history(b2.hist).ok);
+}
+
+TEST(Linearizer, ReadsOnBothSidesPinConcurrentWriteOrder) {
+  // w(a) and w(b) concurrent; read1 sees "b" then read2 (after read1) sees
+  // "a" — no single order explains both.
+  HistBuilder b;
+  b.world.run_until(10);
+  auto w1 = b.hist.invoke(1, HistOp::Put, "x", to_bytes(std::string("a")));
+  auto w2 = b.hist.invoke(2, HistOp::Put, "x", to_bytes(std::string("b")));
+  b.world.run_until(30);
+  b.hist.respond(w1, true);
+  b.hist.respond(w2, true);
+  b.get(3, "x", true, "b", 40, 50);
+  b.get(3, "x", true, "a", 60, 70);
+  EXPECT_FALSE(check_kv_history(b.hist).ok);
+}
+
+TEST(Linearizer, PendingWriteMayOrMayNotTakeEffect) {
+  {
+    HistBuilder b;
+    b.put(1, "x", "a", 10, 20);
+    b.pending_put(2, "x", "crashed", 30);     // never acked
+    b.get(3, "x", true, "crashed", 40, 50);   // took effect: fine
+    EXPECT_TRUE(check_kv_history(b.hist).ok);
+  }
+  {
+    HistBuilder b;
+    b.put(1, "x", "a", 10, 20);
+    b.pending_put(2, "x", "crashed", 30);
+    b.get(3, "x", true, "a", 40, 50);  // never took effect: also fine
+    EXPECT_TRUE(check_kv_history(b.hist).ok);
+  }
+  {
+    HistBuilder b;
+    b.put(1, "x", "a", 10, 20);
+    auto p = b.pending_put(2, "x", "crashed", 30);
+    (void)p;
+    // Seen, then unseen by a later read: the pending write cannot both
+    // take effect and not take effect.
+    b.get(3, "x", true, "crashed", 40, 50);
+    b.get(3, "x", true, "a", 60, 70);
+    EXPECT_FALSE(check_kv_history(b.hist).ok);
+  }
+}
+
+TEST(Linearizer, DeleteMakesKeyMissing) {
+  HistBuilder b;
+  b.put(1, "x", "a", 10, 20);
+  b.at(30);
+  auto d = b.hist.invoke(1, HistOp::Del, "x");
+  b.at(40);
+  b.hist.respond(d, true);
+  b.get(2, "x", false, "", 50, 60);
+  EXPECT_TRUE(check_kv_history(b.hist).ok);
+}
+
+TEST(Linearizer, WeakReadMayBeArbitrarilyStaleButNotFabricated) {
+  HistBuilder b;
+  b.put(1, "x", "a", 10, 20);
+  b.put(1, "x", "b", 30, 40);
+  b.put(1, "x", "c", 50, 60);
+  // Weak read long after "c" may still return "a" (stale prefix) or miss
+  // entirely (a recovering replica that has not caught up).
+  b.get(2, "x", true, "a", 70, 80, HistOp::WeakGet);
+  b.get(2, "x", false, "", 90, 95, HistOp::WeakGet);
+  EXPECT_TRUE(check_kv_history(b.hist).ok);
+
+  // But a value never written to the key is a violation.
+  b.get(2, "x", true, "zz", 100, 110, HistOp::WeakGet);
+  EXPECT_FALSE(check_kv_history(b.hist).ok);
+}
+
+TEST(Linearizer, WeakReadFromTheFutureRejected) {
+  HistBuilder b;
+  // The weak read completes before the write is even invoked.
+  b.get(2, "x", true, "later", 10, 20, HistOp::WeakGet);
+  b.put(1, "x", "later", 30, 40);
+  EXPECT_FALSE(check_kv_history(b.hist).ok);
+}
+
+TEST(Linearizer, PerKeyComposition) {
+  // Violation on one key is found even with clean histories on others.
+  HistBuilder b;
+  b.put(1, "good", "g", 10, 20);
+  b.get(2, "good", true, "g", 30, 40);
+  b.put(1, "bad", "v1", 50, 60);
+  b.get(2, "bad", true, "other", 70, 80);
+  LinResult r = check_kv_history(b.hist);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("key \"bad\""), std::string::npos);
+}
+
+TEST(Linearizer, SerializeIsDeterministic) {
+  auto build = [] {
+    HistBuilder b;
+    b.put(1, "x", "a", 10, 20);
+    b.get(2, "x", true, "a", 30, 40);
+    return b.hist.serialize();
+  };
+  EXPECT_EQ(build(), build());
+  EXPECT_FALSE(build().empty());
+}
+
+}  // namespace
+}  // namespace spider

@@ -72,6 +72,55 @@ TEST(ShardMap, SetRangesValidation) {
   EXPECT_THROW(m.set_ranges({{0, 0}}, 1), std::invalid_argument);          // stale version
 }
 
+TEST(ShardMap, SetRangesFullRingSingleShard) {
+  // A rebalance may give one shard the whole ring; the others then own
+  // nothing but remain valid routing targets for a later table.
+  ShardMap m = ShardMap::uniform(4);
+  m.set_ranges({{0, 2}}, 2);
+  EXPECT_EQ(m.ranges().size(), 1u);
+  EXPECT_EQ(m.shard_count(), 4u);  // shard count is not changed by ranges
+  for (std::uint64_t h : {0ull, 1ull, ~0ull / 2, ~0ull}) {
+    EXPECT_EQ(m.shard_of_hash(h), 2u) << h;
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(m.shard_of("k" + std::to_string(i)), 2u);
+  }
+
+  // And back out of the degenerate table with a newer version.
+  m.set_ranges({{0, 0}, {~0ull / 2, 1}}, 3);
+  EXPECT_EQ(m.shard_of_hash(0), 0u);
+  EXPECT_EQ(m.shard_of_hash(~0ull), 1u);
+}
+
+TEST(ShardMap, AdjacentBoundaryKeysSplitExactlyAtRangeStart) {
+  // Craft the boundary at a real key's hash: the key sits in the upper
+  // range (starts are inclusive), and moving the boundary one hash value
+  // up flips it to the lower range.
+  ShardMap m = ShardMap::uniform(2);
+  const std::string key = "boundary-key";
+  std::uint64_t h = ShardMap::hash_key(key);
+  ASSERT_GT(h, 0u);  // holds for this key; keeps start != 0 valid below
+
+  m.set_ranges({{0, 0}, {h, 1}}, 2);
+  EXPECT_EQ(m.shard_of(key), 1u);
+  EXPECT_EQ(m.shard_of_hash(h - 1), 0u);  // the adjacent hash stays below
+
+  m.set_ranges({{0, 0}, {h + 1, 1}}, 3);
+  EXPECT_EQ(m.shard_of(key), 0u);
+  EXPECT_EQ(m.shard_of_hash(h + 1), 1u);
+}
+
+TEST(ShardMap, SetRangesRejectsZeroWidthRange) {
+  // Equal adjacent starts would make a zero-width (empty) range; the
+  // strictly-increasing rule forbids it in any position.
+  ShardMap m = ShardMap::uniform(3);
+  EXPECT_THROW(m.set_ranges({{0, 0}, {5, 1}, {5, 2}}, 2), std::invalid_argument);
+  EXPECT_THROW(m.set_ranges({{0, 0}, {0, 1}, {9, 2}}, 2), std::invalid_argument);
+  // Version must not have been burned by the failed attempts.
+  m.set_ranges({{0, 1}}, 2);
+  EXPECT_EQ(m.version(), 2u);
+}
+
 TEST(ShardMap, EncodeDecodeRoundTrip) {
   ShardMap m = ShardMap::uniform(3);
   m.set_ranges({{0, 2}, {1000, 0}, {2000, 1}}, 5);

@@ -338,6 +338,41 @@ TEST(ShardedSpider, AddGroupBeyondGroupIdStrideRejected) {
   }
 }
 
+TEST(ShardedSpider, VersionBumpBecomesVisibleThroughClient) {
+  // A rebalanced table (version bump) reaches a router via adopt_map and
+  // changes where keys route; stale and duplicate versions are ignored.
+  Fixture f;
+  auto client = f.sys.make_client(Site{Region::Virginia, 0});
+  std::string key = key_for_shard(f.sys.shard_map(), 1, "mv");
+  ASSERT_EQ(client->route_key(key), 1u);
+
+  // Move the whole ring to shard 0, version 2.
+  ShardMap next = f.sys.shard_map();
+  next.set_ranges({{0, 0}}, 2);
+  f.sys.set_shard_map(next);
+  EXPECT_TRUE(client->adopt_map(f.sys.shard_map()));
+  EXPECT_EQ(client->map().version(), 2u);
+  EXPECT_EQ(client->route_key(key), 0u);  // routing visibly changed
+
+  // Re-adopting the same version is a no-op; an older table is rejected.
+  EXPECT_FALSE(client->adopt_map(next));
+  EXPECT_FALSE(client->adopt_map(ShardMap::uniform(2)));  // version 1
+  EXPECT_EQ(client->map().version(), 2u);
+
+  // A mismatched shard count can never be adopted (subclients are fixed).
+  EXPECT_THROW(client->adopt_map(ShardMap::uniform(3)), std::invalid_argument);
+
+  // The routed write now lands on shard 0 under the new table.
+  auto [reply, lat] = f.do_put(*client, key, "v");
+  ASSERT_TRUE(reply.ok);
+  f.world.run_for(2 * kSecond);
+  GroupId g0 = f.sys.core(0).group_ids().front();
+  KvReply local = kv_decode_reply(
+      f.sys.core(0).exec(g0, 0).app().execute_weak(kv_get(key)));
+  EXPECT_TRUE(local.ok);
+  EXPECT_EQ(to_string(local.value), "v");
+}
+
 TEST(ShardedSpider, SizeAggregatesAcrossShards) {
   Fixture f;
   auto client = f.sys.make_client(Site{Region::Virginia, 0});

@@ -6,6 +6,7 @@
 
 #include "sim/world.hpp"
 #include "spider/system.hpp"
+#include "tests/support/drive.hpp"
 
 namespace spider {
 namespace {
@@ -26,38 +27,18 @@ struct Fx {
   SpiderSystem sys;
   explicit Fx(SpiderTopology t = topo_small(), std::uint64_t seed = 3) : world(seed), sys(world, std::move(t)) {}
 
+  // Thin wrappers over the shared deadline-bounded drive helpers.
   KvReply write(SpiderClient& c, const std::string& k, const std::string& v) {
-    KvReply out;
-    bool done = false;
-    c.write(kv_put(k, to_bytes(v)), [&](Bytes r, Duration) {
-      out = kv_decode_reply(r);
-      done = true;
-    });
-    Time dl = world.now() + 30 * kSecond;
-    while (!done && world.now() < dl) world.queue().run_next();
-    return out;
+    drive::KvOutcome out = drive::blocking_write(world, c, k, v, 30 * kSecond);
+    return KvReply{out.ok, std::move(out.value)};
   }
   KvReply weak(SpiderClient& c, const std::string& k) {
-    KvReply out;
-    bool done = false;
-    c.weak_read(kv_get(k), [&](Bytes r, Duration) {
-      out = kv_decode_reply(r);
-      done = true;
-    });
-    Time dl = world.now() + 30 * kSecond;
-    while (!done && world.now() < dl) world.queue().run_next();
-    return out;
+    drive::KvOutcome out = drive::blocking_weak_read(world, c, k, 30 * kSecond);
+    return KvReply{out.ok, std::move(out.value)};
   }
   KvReply strong(SpiderClient& c, const std::string& k) {
-    KvReply out;
-    bool done = false;
-    c.strong_read(kv_get(k), [&](Bytes r, Duration) {
-      out = kv_decode_reply(r);
-      done = true;
-    });
-    Time dl = world.now() + 30 * kSecond;
-    while (!done && world.now() < dl) world.queue().run_next();
-    return out;
+    drive::KvOutcome out = drive::blocking_strong_read(world, c, k, 30 * kSecond);
+    return KvReply{out.ok, std::move(out.value)};
   }
 };
 
