@@ -1,9 +1,11 @@
-// Fault injection tour (paper §3.7 + crash-recovery extension): Byzantine
-// execution replicas that corrupt replies or drop request forwarding, a
+// Fault injection tour (paper §3.7 + crash-recovery + Byzantine-schedule
+// extensions): Byzantine execution replicas that corrupt replies or drop
+// request forwarding, an *equivocating* PBFT primary and a forged
+// checkpoint certificate (both survived by the protocol), a
 // crashed-and-restarted agreement leader (view change + checkpoint
 // rejoin), and a crash-recovered execution replica that re-initializes
-// through checkpoint state transfer — all scripted on a deterministic
-// FaultPlan, while clients keep getting correct answers.
+// through checkpoint state transfer — all scripted as timed windows on a
+// deterministic FaultPlan, while clients keep getting correct answers.
 //
 //   $ ./examples/fault_injection
 #include <cstdio>
@@ -22,41 +24,75 @@ int main() {
   topo.ka = 8;
   topo.ke = 8;
   topo.commit_capacity = 16;
+  topo.request_timeout = kSecond;
+  topo.view_change_timeout = 2 * kSecond;
   SpiderSystem spider(world, topo);
 
   // The fault plan drives every fault in this tour. Crash/restart actions
   // go through the system's crash-recovery hooks: a crash destroys the
   // replica process (volatile state and all), a restart rebuilds it under
-  // the same NodeId and lets the protocol recover it.
+  // the same NodeId and lets the protocol recover it. Byzantine windows go
+  // through set_byzantine: the flags turn on at the window start and off
+  // at its end, surviving a crash/restart in between.
   FaultPlan plan(world);
   plan.on_crash = [&spider](NodeId n) { spider.crash_node(n); };
   plan.on_restart = [&spider](NodeId n) { spider.restart_node(n); };
+  plan.on_byzantine = [&spider](NodeId n, const ByzantineFlags& f) {
+    spider.set_byzantine(n, f);
+  };
 
   auto client = spider.make_client(Site{Region::Oregon, 0});
   GroupId g = client->group().group;
 
   std::printf("== 1. Byzantine execution replica corrupts its replies ==\n");
-  spider.exec(g, 0).corrupt_replies = true;
+  plan.corrupt_replies_at(world.now(), spider.exec(g, 0).id(), 4 * kSecond);
+  world.run_for(kMillisecond);
   drive::KvOutcome w = drive::blocking_write(world, *client, "account", "100");
   std::printf("   write %s in %s  (fe+1 matching correct replies outvote it)\n",
               w.ok ? "succeeded" : "FAILED", format_ms(w.latency).c_str());
 
   std::printf("== 2. Another replica silently drops request forwarding ==\n");
-  spider.exec(g, 1).drop_forwarding = true;
+  plan.drop_forwarding_at(world.now(), spider.exec(g, 1).id(), 4 * kSecond);
+  world.run_for(kMillisecond);
   w = drive::blocking_write(world, *client, "account", "90");
   std::printf("   write %s in %s  (fe+1 correct forwarders satisfy the IRMC)\n",
               w.ok ? "succeeded" : "FAILED", format_ms(w.latency).c_str());
-  spider.exec(g, 0).corrupt_replies = false;
-  spider.exec(g, 1).drop_forwarding = false;
+  world.run_for(5 * kSecond);  // both Byzantine windows end
+
+  std::printf("== 2b. The PBFT primary equivocates; a replica forges checkpoints ==\n");
+  // The view-0 primary sends conflicting pre-prepares to disjoint halves
+  // of the agreement group: neither digest can reach a quorum (quorum
+  // intersection), the request timers fire, and an honest view takes
+  // over — each write still commits exactly once. Meanwhile another
+  // agreement replica pushes checkpoint votes and forged f+1 certificates
+  // for a tampered state digest; correct replicas reject both.
+  ViewNr view_before = spider.agreement(1).consensus().view();
+  plan.equivocate_at(world.now(), spider.agreement(0).id(), 6 * kSecond);
+  plan.forge_checkpoints_at(world.now(), spider.agreement(1).id(), 6 * kSecond);
+  world.run_for(kMillisecond);
+  w = drive::blocking_write(world, *client, "account", "85");
+  std::printf("   write %s in %s despite the equivocation; view %llu -> %llu\n",
+              w.ok ? "succeeded" : "FAILED", format_ms(w.latency).c_str(),
+              static_cast<unsigned long long>(view_before),
+              static_cast<unsigned long long>(spider.agreement(1).consensus().view()));
+  drive::KvOutcome check = drive::blocking_strong_read(world, *client, "account");
+  std::printf("   strong read -> \"%s\" (committed exactly once, forged certs rejected)\n",
+              to_string(check.value).c_str());
+  world.run_for(7 * kSecond);  // Byzantine windows end; system honest again
 
   std::printf("== 3. Agreement leader crashes (process destroyed): view change ==\n");
-  NodeId leader = spider.agreement(0).id();
+  ViewNr view_now = spider.agreement(1).consensus().view();
+  std::size_t leader_idx =
+      static_cast<std::size_t>(view_now % spider.agreement_size());
+  std::size_t witness_idx = (leader_idx + 1) % spider.agreement_size();
+  NodeId leader = spider.agreement(leader_idx).id();
   plan.crash_at(world.now(), leader);
   world.run_for(kMillisecond);
   w = drive::blocking_write(world, *client, "account", "80");
-  std::printf("   write %s in %s; new view = %llu\n", w.ok ? "succeeded" : "FAILED",
-              format_ms(w.latency).c_str(),
-              static_cast<unsigned long long>(spider.agreement(1).consensus().view()));
+  std::printf("   write %s in %s; view %llu -> %llu\n", w.ok ? "succeeded" : "FAILED",
+              format_ms(w.latency).c_str(), static_cast<unsigned long long>(view_now),
+              static_cast<unsigned long long>(
+                  spider.agreement(witness_idx).consensus().view()));
 
   std::printf("== 4. ...and restarts: the fresh process rejoins its view ==\n");
   plan.restart_at(world.now(), leader);
@@ -65,8 +101,10 @@ int main() {
   }
   world.run_for(5 * kSecond);
   std::printf("   restarted leader: view = %llu (group: %llu), rejoined by f+1 evidence\n",
-              static_cast<unsigned long long>(spider.agreement(0).consensus().view()),
-              static_cast<unsigned long long>(spider.agreement(1).consensus().view()));
+              static_cast<unsigned long long>(
+                  spider.agreement(leader_idx).consensus().view()),
+              static_cast<unsigned long long>(
+                  spider.agreement(witness_idx).consensus().view()));
 
   std::printf("== 5. Crash-recovered execution replica catches up via checkpoints ==\n");
   NodeId lagger = spider.exec(g, 2).id();

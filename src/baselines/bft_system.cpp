@@ -177,7 +177,9 @@ void BftReplica::execute_one(const Bytes& request) {
 }
 
 void BftReplica::reply_to(NodeId client, std::uint64_t counter, BytesView result, bool weak) {
-  ReplyMsg reply{counter, to_bytes(result), weak};
+  Bytes out = to_bytes(result);
+  if (corrupt_replies) corrupt_reply_payload(out);  // see sim/byzantine.hpp
+  ReplyMsg reply{counter, std::move(out), weak};
   Bytes body = reply.encode();
   charge_mac();
   Bytes mac = crypto().mac(id(), client, tagged(tags::kClient, body));
@@ -243,6 +245,14 @@ void BftReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
 
 void BftReplica::recover() { checkpointer_->fetch_cp(1); }
 
+void BftReplica::apply_byzantine(const ByzantineFlags& f) {
+  corrupt_replies = f.corrupt_replies;
+  pbft_->mute = f.mute;
+  pbft_->mute_rx = f.mute_rx;
+  pbft_->equivocate = f.equivocate;
+  checkpointer_->forge_checkpoints = f.forge_checkpoints;
+}
+
 BftSystem::BftSystem(World& world, BftConfig cfg) : world_(world), cfg_(std::move(cfg)) {
   for (std::size_t i = 0; i < cfg_.sites.size(); ++i) ids_.push_back(world_.allocate_id());
   for (std::size_t i = 0; i < cfg_.sites.size(); ++i) {
@@ -271,8 +281,23 @@ bool BftSystem::restart_node(NodeId id) {
         replicas_[i] = std::make_unique<BftReplica>(world_, ids_[i], cfg_.sites[i],
                                                     static_cast<std::uint32_t>(i), cfg_, ids_,
                                                     cfg_.make_app());
+        auto bit = byz_flags_.find(id);
+        if (bit != byz_flags_.end() && bit->second.any()) {
+          replicas_[i]->apply_byzantine(bit->second);
+        }
         replicas_[i]->recover();
       }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BftSystem::set_byzantine(NodeId id, const ByzantineFlags& flags) {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) {
+      byz_flags_[id] = flags;
+      if (replicas_[i]) replicas_[i]->apply_byzantine(flags);
       return true;
     }
   }

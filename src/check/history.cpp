@@ -1,7 +1,10 @@
 #include "check/history.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
 
+#include "common/hex.hpp"
 #include "common/serde.hpp"
 #include "sim/world.hpp"
 
@@ -54,10 +57,10 @@ std::vector<std::string> HistoryRecorder::keys() const {
   return out;
 }
 
-Bytes HistoryRecorder::serialize() const {
+Bytes serialize_ops(const std::vector<RecordedOp>& ops) {
   Writer w;
-  w.u32(static_cast<std::uint32_t>(ops_.size()));
-  for (const RecordedOp& op : ops_) {
+  w.u32(static_cast<std::uint32_t>(ops.size()));
+  for (const RecordedOp& op : ops) {
     w.u64(op.client);
     w.u8(static_cast<std::uint8_t>(op.kind));
     w.bytes(to_bytes(op.key));
@@ -69,6 +72,60 @@ Bytes HistoryRecorder::serialize() const {
     w.bytes(op.result);
   }
   return std::move(w).take();
+}
+
+Bytes HistoryRecorder::serialize() const { return serialize_ops(ops_); }
+
+namespace {
+// Hex fields may be empty; "-" keeps the token stream aligned.
+std::string hex_token(BytesView v) { return v.empty() ? "-" : to_hex(v); }
+
+Bytes parse_hex_token(const std::string& tok) {
+  return tok == "-" ? Bytes{} : from_hex(tok);
+}
+}  // namespace
+
+std::string serialize_ops_text(const std::vector<RecordedOp>& ops) {
+  std::ostringstream out;
+  for (const RecordedOp& op : ops) {
+    out << "op " << op.client << " " << static_cast<unsigned>(op.kind) << " "
+        << hex_token(to_bytes(op.key)) << " " << hex_token(op.arg) << " " << op.invoke << " "
+        << op.respond << " " << (op.responded ? 1 : 0) << " " << (op.ok ? 1 : 0) << " "
+        << hex_token(op.result) << "\n";
+  }
+  return out.str();
+}
+
+std::string HistoryRecorder::serialize_text() const { return serialize_ops_text(ops_); }
+
+std::vector<RecordedOp> parse_history_text(const std::string& text) {
+  std::vector<RecordedOp> ops;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag, key_hex, arg_hex, result_hex;
+    unsigned kind = 0;
+    int responded = 0, ok = 0;
+    RecordedOp op;
+    if (!(ls >> tag >> op.client >> kind >> key_hex >> arg_hex >> op.invoke >> op.respond >>
+          responded >> ok >> result_hex) ||
+        tag != "op") {
+      throw std::invalid_argument("history text line " + std::to_string(lineno) +
+                                  " malformed: " + line);
+    }
+    op.kind = static_cast<HistOp>(kind);
+    op.key = to_string(parse_hex_token(key_hex));
+    op.arg = parse_hex_token(arg_hex);
+    op.responded = responded != 0;
+    op.ok = ok != 0;
+    op.result = parse_hex_token(result_hex);
+    ops.push_back(std::move(op));
+  }
+  return ops;
 }
 
 std::string HistoryRecorder::dump() const {

@@ -57,10 +57,23 @@ class HistoryRecorder {
   [[nodiscard]] Bytes serialize() const;
   /// Human-readable dump, one operation per line.
   [[nodiscard]] std::string dump() const;
+  /// Parseable text encoding, one operation per line (keys and values are
+  /// hex-encoded so arbitrary bytes survive); the inverse of
+  /// parse_history_text. Failure artifacts embed this so a recorded
+  /// history can be reloaded, not just read.
+  [[nodiscard]] std::string serialize_text() const;
 
  private:
   World& world_;
   std::vector<RecordedOp> ops_;
 };
+
+/// Byte encoding of an operation list; serialize() == serialize_ops(ops()).
+Bytes serialize_ops(const std::vector<RecordedOp>& ops);
+/// Text encoding of an operation list (what serialize_text emits).
+std::string serialize_ops_text(const std::vector<RecordedOp>& ops);
+/// Parses serialize_text output back into operations; throws
+/// std::invalid_argument on malformed input.
+std::vector<RecordedOp> parse_history_text(const std::string& text);
 
 }  // namespace spider

@@ -45,8 +45,8 @@ bool PbftReplica::instance_relevant(SeqNr s) const {
 
 void PbftReplica::broadcast(BytesView inner, bool sign) {
   if (mute) return;
-  Bytes authed = to_bytes(inner);
   if (sign) {
+    Bytes authed = to_bytes(inner);
     host().charge_sign();
     Bytes sig = crypto().sign(self(), auth_bytes(inner));
     authed.insert(authed.end(), sig.begin(), sig.end());
@@ -55,15 +55,17 @@ void PbftReplica::broadcast(BytesView inner, bool sign) {
       send(cfg_.replicas[i], authed);
     }
   } else {
-    for (std::uint32_t i = 0; i < cfg_.n(); ++i) {
-      if (i == cfg_.my_index) continue;
-      host().charge_mac();
-      Bytes tag_bytes = crypto().mac(self(), cfg_.replicas[i], auth_bytes(inner));
-      Bytes msg = to_bytes(inner);
-      msg.insert(msg.end(), tag_bytes.begin(), tag_bytes.end());
-      send(cfg_.replicas[i], msg);
-    }
+    for (std::uint32_t i = 0; i < cfg_.n(); ++i) send_authed(i, inner);
   }
+}
+
+void PbftReplica::send_authed(std::uint32_t idx, BytesView inner) {
+  if (mute || idx == cfg_.my_index) return;
+  host().charge_mac();
+  Bytes tag_bytes = crypto().mac(self(), cfg_.replicas[idx], auth_bytes(inner));
+  Bytes msg = to_bytes(inner);
+  msg.insert(msg.end(), tag_bytes.begin(), tag_bytes.end());
+  send(cfg_.replicas[idx], msg);
 }
 
 bool PbftReplica::check_mac(NodeId from, BytesView inner, BytesView tag_bytes) {
@@ -77,6 +79,7 @@ bool PbftReplica::check_sig(NodeId from, BytesView inner, BytesView sig) {
 }
 
 void PbftReplica::on_message(NodeId from, Reader& r) {
+  if (mute_rx) return;  // fully-isolated Byzantine node: deaf as well
   BytesView all = r.raw(r.remaining());
   if (all.empty()) return;
   auto type = static_cast<MsgType>(all[0]);
@@ -214,7 +217,31 @@ void PbftReplica::propose(std::vector<Bytes> batch) {
   requests_proposed_ += e.requests.size();
 
   pbft::PrePrepareMsg m{view_, s, e.requests};
-  broadcast(m.encode(), /*sign=*/false);
+  if (equivocate && cfg_.n() >= 3) {
+    // Byzantine primary: conflicting but individually plausible proposals
+    // for the same sequence number. The first half of the other replicas
+    // receives the real batch, the second half a conflicting one (the
+    // batch reversed, or a null instance for a singleton batch). Both
+    // pass receiver-side validation, but their digests differ, so quorum
+    // intersection lets at most one commit; the resulting stall is
+    // resolved by the next view change.
+    std::vector<Bytes> alt = e.requests;
+    if (alt.size() >= 2) {
+      std::reverse(alt.begin(), alt.end());
+    } else {
+      alt.clear();
+    }
+    pbft::PrePrepareMsg alt_m{view_, s, std::move(alt)};
+    const Bytes real_enc = m.encode();
+    const Bytes alt_enc = alt_m.encode();
+    std::uint32_t others_seen = 0;
+    for (std::uint32_t i = 0; i < cfg_.n(); ++i) {
+      if (i == cfg_.my_index) continue;
+      send_authed(i, others_seen++ < (cfg_.n() - 1) / 2 ? real_enc : alt_enc);
+    }
+  } else {
+    broadcast(m.encode(), /*sign=*/false);
+  }
   maybe_send_commit(s, e);
 }
 

@@ -103,6 +103,16 @@ class PbftReplica : public Component, public Agreement {
   /// Test hook: a "mute" replica stops sending protocol messages
   /// (fail-silent Byzantine behaviour, e.g. a faulty primary).
   bool mute = false;
+  /// Test hook: also drop *inbound* protocol handling, so a fully-isolated
+  /// Byzantine node (neither speaks nor listens) is expressible — `mute`
+  /// alone still learns views and certificates from its peers.
+  bool mute_rx = false;
+  /// Test hook: an equivocating primary proposes conflicting pre-prepares
+  /// for the same sequence number to disjoint halves of the group (the
+  /// real batch to one half, a reversed batch — or a null instance for
+  /// singleton batches — to the other). Quorum intersection prevents both
+  /// digests from committing; liveness recovers via view change.
+  bool equivocate = false;
 
  private:
   struct Entry {
@@ -130,6 +140,8 @@ class PbftReplica : public Component, public Agreement {
   [[nodiscard]] bool instance_relevant(SeqNr s) const;
 
   void broadcast(BytesView inner, bool sign);
+  /// MAC-authenticated unicast to one group member (equivocation splits).
+  void send_authed(std::uint32_t idx, BytesView inner);
   bool check_mac(NodeId from, BytesView inner, BytesView tag_bytes);
   bool check_sig(NodeId from, BytesView inner, BytesView sig);
 

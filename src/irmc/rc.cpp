@@ -151,7 +151,33 @@ void RcSender::on_message(NodeId from, Reader& r) {
   irmc::MoveMsg mv = irmc::MoveMsg::decode(br);
   if (type == MsgType::Nack) {
     // Receiver missed transmissions (e.g. it was unreachable): replay the
-    // retained wires from the requested position on.
+    // retained wires from the requested position on. First tell it where
+    // the window stands, for two chaos-found livelocks (Byzantine sweep
+    // seeds 103 / 154):
+    //   - our own Move request may have been lost (sent into a partition)
+    //     and move_window() dedups repeats, so the receiver would keep
+    //     rejecting the replayed Sends as beyond its storage horizon;
+    //   - a receiver that crashed and restarted empty nacks position 1,
+    //     which fr+1 receivers (itself included, before the crash) already
+    //     moved the window past — it must learn the granted window start
+    //     so its TooOld path can recover through a checkpoint instead of
+    //     waiting forever for garbage-collected content.
+    // The window only moves at the receiver once fs+1 senders state it
+    // (>= 1 correct), and execution below the new start resumes only after
+    // an f+1-signed checkpoint is adopted, so a Byzantine sender cannot
+    // use this to skip live content. FIFO links deliver the Move before
+    // the replayed Sends.
+    Position floor = win_lo(mv.sc);
+    auto own = own_move_.find(mv.sc);
+    if (own != own_move_.end()) floor = std::max(floor, own->second);
+    irmc::MoveMsg remv{mv.sc, floor};
+    Bytes rbody = remv.encode();
+    host().charge_mac();
+    Bytes rtag = crypto().mac(self(), from, auth_bytes(rbody));
+    Bytes rmsg = rbody;
+    rmsg.insert(rmsg.end(), rtag.begin(), rtag.end());
+    Component::send(from, rmsg);
+
     auto sit = sent_.find(mv.sc);
     if (sit == sent_.end()) return;
     int budget = 64;  // bounded replay per NACK; the receiver re-nacks if needed

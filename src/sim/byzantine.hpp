@@ -1,0 +1,60 @@
+// Per-replica Byzantine behaviour toggles.
+//
+// FaultPlan composes timed Byzantine windows into one flag set per NodeId
+// and pushes it through a system's set_byzantine hook whenever the merged
+// state changes. Which fields apply depends on the replica's role:
+// execution replicas honour corrupt_replies / drop_forwarding /
+// forge_checkpoints, consensus-running replicas (Spider agreement, PBFT
+// baseline) honour mute / mute_rx / equivocate / forge_checkpoints, and
+// PBFT-baseline replicas — which both order and execute — honour
+// corrupt_replies as well. Flags a replica has no behaviour for are
+// silently ignored, so one schedule vocabulary covers every deployment.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace spider {
+
+struct ByzantineFlags {
+  /// Client replies carry a tampered value (must be outvoted by f+1
+  /// matching correct replies; f+1 corruptors are the checker's canary).
+  bool corrupt_replies = false;
+  /// Silently refuse to forward client requests into the request channel.
+  bool drop_forwarding = false;
+  /// Fail-silent consensus: stop sending protocol messages.
+  bool mute = false;
+  /// Fully-isolated Byzantine node: also drop inbound protocol handling.
+  bool mute_rx = false;
+  /// An equivocating primary sends conflicting pre-prepares for the same
+  /// sequence number to disjoint halves of the group.
+  bool equivocate = false;
+  /// Emit checkpoint votes and forged "stable" certificates for a tampered
+  /// state digest (correct replicas must reject both).
+  bool forge_checkpoints = false;
+
+  [[nodiscard]] bool any() const {
+    return corrupt_replies || drop_forwarding || mute || mute_rx || equivocate ||
+           forge_checkpoints;
+  }
+  bool operator==(const ByzantineFlags&) const = default;
+};
+
+/// Shared corrupt_replies tampering, applied to an encoded reply payload
+/// by every replica type that honours the flag. Flips the last byte when
+/// the reply carries a payload beyond the minimal KvReply header (5 bytes:
+/// ok flag + value length) so the *decoded* value changes — appending a
+/// byte would be invisible to length-prefixed decoders. Header-only
+/// replies get an appended byte instead: the wire image still differs from
+/// correct replies (so client voting sees a Byzantine reply) without
+/// breaking the decoder. Deterministic, so f+1 corruptors produce
+/// byte-identical tampered replies — the linearizability checker's canary
+/// relies on them winning the client's matching-reply vote.
+inline void corrupt_reply_payload(Bytes& out) {
+  if (out.size() > 5) {
+    out.back() ^= 0xbd;
+  } else {
+    out.push_back(0xbd);
+  }
+}
+
+}  // namespace spider

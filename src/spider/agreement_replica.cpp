@@ -423,6 +423,13 @@ void AgreementReplica::on_stable_checkpoint(SeqNr s, BytesView state) {
 
 void AgreementReplica::recover() { checkpointer_->fetch_cp(1); }
 
+void AgreementReplica::apply_byzantine(const ByzantineFlags& f) {
+  pbft_->mute = f.mute;
+  pbft_->mute_rx = f.mute_rx;
+  pbft_->equivocate = f.equivocate;
+  checkpointer_->forge_checkpoints = f.forge_checkpoints;
+}
+
 void AgreementReplica::handle_registry_query(NodeId from) {
   Bytes body = registry_.encode();
   charge_mac();

@@ -40,6 +40,42 @@ void Checkpointer::add_fetch_peers(const std::vector<NodeId>& peers) {
 
 void Checkpointer::gen_cp(SeqNr s, Bytes state) {
   if (s <= last_stable_) return;
+  if (forge_checkpoints) {
+    Bytes tampered = state;
+    tampered.push_back(0xbd);
+    host().charge_hash(tampered.size());
+    Sha256Digest h = Sha256::hash(tampered);
+    Bytes body = checkpoint_body(s, h);
+    host().charge_sign();
+    Bytes sig = crypto().sign(self(), auth_bytes(body));
+    Bytes vote = body;
+    vote.insert(vote.end(), sig.begin(), sig.end());
+
+    // Forged certificate: a State message whose proof claims f+1 signers
+    // but lists only this replica's signature, f+1 times over.
+    Writer proof;
+    proof.u32(f_ + 1);
+    for (std::uint32_t i = 0; i < f_ + 1; ++i) {
+      proof.u32(self());
+      proof.bytes(sig);
+    }
+    Writer cert;
+    cert.u8(3);  // MsgType::State
+    cert.u64(s);
+    cert.bytes(tampered);
+    cert.bytes(proof.data());
+    Bytes cert_wire = std::move(cert).take();
+
+    for (NodeId n : group_) {
+      if (n == self()) continue;
+      Component::send(n, vote);
+      Component::send(n, cert_wire);
+    }
+    // Keep the genuine snapshot so check_stable can adopt the correct
+    // checkpoint when f+1 honest votes stabilize it.
+    own_snapshots_[s] = std::move(state);
+    return;
+  }
   host().charge_hash(state.size());
   Sha256Digest h = Sha256::hash(state);
   own_snapshots_[s] = std::move(state);

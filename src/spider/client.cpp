@@ -116,6 +116,7 @@ void SpiderClient::submit_direct(OpKind kind, Bytes op, OpCallback cb) {
 void SpiderClient::start_weak() {
   if (weak_queue_.empty()) return;
   weak_in_flight_ = true;
+  weak_attempts_ = 0;
   ++weak_counter_;
   weak_replies_.clear();
   weak_start_ = now();
@@ -126,11 +127,29 @@ void SpiderClient::start_weak() {
 void SpiderClient::arm_weak_retry() {
   weak_retry_timer_ = set_timer(retry_ + retry_jitter(retry_), [this] {
     weak_retry_timer_ = EventQueue::kInvalidEvent;
-    if (weak_in_flight_) {
-      ++retries_;
-      transmit_weak();
-      arm_weak_retry();
+    if (!weak_in_flight_) return;
+    if (weak_queue_.front().kind == OpKind::StrongRead &&
+        ++weak_attempts_ >= kDirectReadFallbackRetries) {
+      // Read-only optimization fallback (Castro-Liskov): the direct
+      // replies will never agree — re-submit as a regular ordered
+      // request. Deliberately OpKind::Write, not StrongRead: replicas in
+      // direct-read mode answer StrongRead from local state without
+      // ordering (that is the loop being broken here), and only the
+      // regular-request kind forces the op through consensus. The op
+      // itself is read-only, so ordering it mutates nothing and answers
+      // from the committed state at its sequence position. This path is
+      // only reachable with direct_strong_reads (flat-BFT baselines);
+      // Spider strong reads are always ordered.
+      WeakOp op = std::move(weak_queue_.front());
+      weak_queue_.pop_front();
+      weak_in_flight_ = false;
+      submit_ordered(OpKind::Write, std::move(op.op), std::move(op.cb));
+      start_weak();
+      return;
     }
+    ++retries_;
+    transmit_weak();
+    arm_weak_retry();
   });
 }
 

@@ -35,6 +35,15 @@ class SpiderClient : public ComponentHost {
   /// exceeds kRetryBackoffCap x the base retry interval.
   static constexpr Duration kRetryBackoffCap = 8;
 
+  /// Direct (optimized) strong reads that fail to assemble `strong_quorum`
+  /// matching replies within this many retransmissions fall back to the
+  /// ordering protocol, as in Castro-Liskov's read-only optimization: too
+  /// many replicas hold divergent state (stale after a partition, restarted
+  /// from an old checkpoint, Byzantine) for direct replies to ever agree,
+  /// and only an ordered execution answers consistently — it also generates
+  /// the consensus traffic stale replicas need to notice they trail.
+  static constexpr std::uint64_t kDirectReadFallbackRetries = 4;
+
   SpiderClient(World& world, Site site, ClientGroupInfo group,
                Duration retry = 2 * kSecond);
 
@@ -106,6 +115,7 @@ class SpiderClient : public ComponentHost {
   void submit_direct(OpKind kind, Bytes op, OpCallback cb);
   std::deque<WeakOp> weak_queue_;
   bool weak_in_flight_ = false;
+  std::uint64_t weak_attempts_ = 0;  // retransmissions of the in-flight direct op
   std::uint64_t weak_counter_ = 0;
   Time weak_start_ = 0;
   std::map<NodeId, Bytes> weak_replies_;

@@ -58,6 +58,12 @@ ExecutionReplica::ExecutionReplica(World& world, Site site, ExecutionConfig cfg,
   request_next_execute();
 }
 
+void ExecutionReplica::apply_byzantine(const ByzantineFlags& f) {
+  corrupt_replies = f.corrupt_replies;
+  drop_forwarding = f.drop_forwarding;
+  checkpointer_->forge_checkpoints = f.forge_checkpoints;
+}
+
 void ExecutionReplica::add_checkpoint_peers(const std::vector<NodeId>& peers) {
   checkpointer_->add_fetch_peers(peers);
   for (NodeId p : peers) trusted_peers_->insert(p);
@@ -213,9 +219,9 @@ void ExecutionReplica::process_execute(const ExecuteMsg& x) {
 void ExecutionReplica::reply_to(NodeId client, std::uint64_t counter, BytesView result,
                                 bool weak) {
   Bytes out = to_bytes(result);
-  if (corrupt_replies) {
-    out.push_back(0xbd);  // Byzantine corruption, outvoted by correct replicas
-  }
+  // Byzantine tampering, outvoted by fe+1 matching correct replies (fe+1
+  // corruptors are the linearizability checker's canary).
+  if (corrupt_replies) corrupt_reply_payload(out);
   ReplyMsg reply{counter, std::move(out), weak};
   Bytes body = reply.encode();
   charge_mac();

@@ -13,6 +13,7 @@
 
 #include "app/application.hpp"
 #include "irmc/irmc.hpp"
+#include "sim/byzantine.hpp"
 #include "sim/component.hpp"
 #include "spider/checkpointer.hpp"
 #include "spider/messages.hpp"
@@ -62,6 +63,12 @@ class ExecutionReplica : public ComponentHost {
   /// Test hook: Byzantine replica that stays silent toward the agreement
   /// group (drops request forwarding).
   bool drop_forwarding = false;
+
+  /// Applies a Byzantine flag set (FaultPlan via the system's
+  /// set_byzantine): corrupt_replies, drop_forwarding and
+  /// forge_checkpoints are meaningful here; consensus-role flags are
+  /// ignored.
+  void apply_byzantine(const ByzantineFlags& f);
 
  private:
   void handle_client(NodeId from, Reader& r);

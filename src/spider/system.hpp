@@ -104,6 +104,17 @@ class SpiderSystem {
   /// fault-plan targeting.
   [[nodiscard]] std::vector<NodeId> replica_ids() const;
 
+  // ---- Byzantine fault injection (FaultPlan hooks) -----------------------
+  /// Applies a Byzantine flag set to the replica with this id: agreement
+  /// replicas honour the consensus-role flags (mute / mute_rx / equivocate
+  /// / forge_checkpoints), execution replicas the execution-role flags
+  /// (corrupt_replies / drop_forwarding / forge_checkpoints). Flags
+  /// persist across crash_node/restart_node — a rebuilt process resumes
+  /// its scheduled misbehaviour — and are cleared by applying a
+  /// default-constructed set. Returns false for unknown ids.
+  bool set_byzantine(NodeId id, const ByzantineFlags& flags);
+  [[nodiscard]] ByzantineFlags byzantine_flags(NodeId id) const;
+
   // ---- runtime reconfiguration (paper §3.6) ------------------------------
   /// Starts 2fe+1 replicas in `region` and submits <AddGroup> through the
   /// admin client; cb fires when the reconfiguration has been agreed.
@@ -145,6 +156,8 @@ class SpiderSystem {
   std::map<GroupId, Region> group_regions_;
   GroupId next_group_id_ = 1;
   std::unique_ptr<SpiderClient> admin_;
+  // Byzantine flags outlive the replica object (re-applied on restart).
+  std::map<NodeId, ByzantineFlags> byz_flags_;
 };
 
 }  // namespace spider

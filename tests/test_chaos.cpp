@@ -1,17 +1,29 @@
-// Seed-swept chaos suite: random FaultPlans (crashes + restarts,
-// partitions, loss, delay spikes, slow nodes) against four deployment
+// Seed-swept chaos suite: random FaultPlans against four deployment
 // shapes — Spider f=1, Spider f=2, the geo-replicated PBFT baseline, and a
 // 2-shard sharded deployment — with every client operation recorded and
 // the whole history checked for per-key linearizability (weak reads
-// against the committed-prefix rule). 16 seeds x 4 configs = 64 scenarios.
+// against the committed-prefix rule).
+//
+//   - Benign sweep: crashes + restarts, partitions, loss, delay spikes,
+//     slow nodes. 16 seeds x 4 configs = 64 scenarios.
+//   - Byzantine sweep: the benign faults *plus* scheduled active-adversary
+//     windows (equivocating primaries, corrupt replies, dropped request
+//     forwarding, muted / fully-isolated consensus replicas, forged
+//     checkpoint certificates), hard-capped at ≤f Byzantine replicas per
+//     consensus group and ≤fe per execution group. 8 seeds x 4 configs =
+//     32 scenarios. Linearizability must hold under ANY such schedule; the
+//     fe+1-corruptor canary below proves the checker would catch a breach.
 //
 // On failure each scenario writes chaos_failure_<config>_seed<N>.txt
-// (fault schedule + full history) next to the test binary; CI uploads
-// these as artifacts. Reproduce locally with the seed from the test name —
-// scenarios are bit-deterministic (see SeedReplayIsByteIdentical).
+// (fault schedule + full history, both human-readable and replayable)
+// next to the test binary; CI uploads these as artifacts. Reproduce
+// locally with the seed from the test name — scenarios are
+// bit-deterministic (see SeedReplayIsByteIdentical) — or reload the
+// artifact itself (see ArtifactRoundTripReplaysByteIdentically).
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <sstream>
 
 #include "baselines/bft_system.hpp"
 #include "check/linearizer.hpp"
@@ -44,8 +56,10 @@ struct ChaosOutcome {
   LinResult lin;
   bool no_lost_writes = true;
   std::string lost_diag;
-  std::string fault_script;
+  std::string fault_script;    // human-readable (FaultPlan::describe)
+  std::string machine_script;  // replayable (FaultPlan::serialize_script)
   std::string history_dump;
+  std::string history_text;    // replayable (HistoryRecorder::serialize_text)
   Bytes history;
 };
 
@@ -58,6 +72,14 @@ struct ScenarioParts {
   std::vector<std::vector<NodeId>> partition_groups;
   std::uint32_t max_concurrent_crashes = 1;
   std::size_t ops_per_client = 10;
+  // Byzantine sweep: candidate sets per role and the ≤f hard caps.
+  std::vector<std::vector<NodeId>> byz_consensus_groups;
+  std::vector<std::vector<NodeId>> byz_exec_groups;
+  std::uint32_t max_byz_consensus = 0;
+  std::uint32_t max_byz_exec = 0;
+  bool byzantine = false;
+  // Replay mode: schedule this serialized script instead of randomize().
+  const std::string* replay_script = nullptr;
 };
 
 ChaosOutcome drive_chaos(World& world, HistoryRecorder& hist, FaultPlan& plan,
@@ -69,7 +91,21 @@ ChaosOutcome drive_chaos(World& world, HistoryRecorder& hist, FaultPlan& plan,
   profile.horizon = 18 * kSecond;
   profile.actions = 5;
   profile.max_concurrent_crashes = parts.max_concurrent_crashes;
-  plan.randomize(profile);
+  if (parts.byzantine) {
+    profile.byz_consensus_groups = std::move(parts.byz_consensus_groups);
+    profile.byz_exec_groups = std::move(parts.byz_exec_groups);
+    profile.max_byz_per_consensus_group = parts.max_byz_consensus;
+    profile.max_byz_per_exec_group = parts.max_byz_exec;
+    profile.byz_actions = 4;
+  }
+  if (parts.replay_script != nullptr) {
+    // Mirror randomize()'s single World-RNG fork so the workload schedule
+    // drawn below stays bit-identical with the recorded run.
+    (void)world.rng().fork();
+    plan.schedule_script(*parts.replay_script);
+  } else {
+    plan.randomize(profile);
+  }
 
   chaos::WorkloadOptions opt;
   opt.ops_per_client = parts.ops_per_client;
@@ -79,6 +115,7 @@ ChaosOutcome drive_chaos(World& world, HistoryRecorder& hist, FaultPlan& plan,
 
   ChaosOutcome out;
   out.fault_script = plan.describe();
+  out.machine_script = plan.serialize_script();
 
   // Chaos phase: every fault ends by the horizon (restarts included).
   world.run_until(profile.horizon + kSecond);
@@ -129,11 +166,13 @@ ChaosOutcome drive_chaos(World& world, HistoryRecorder& hist, FaultPlan& plan,
   }
 
   out.history_dump = hist.dump();
+  out.history_text = hist.serialize_text();
   out.history = hist.serialize();
   return out;
 }
 
-ChaosOutcome run_chaos(ChaosConfig config, std::uint64_t seed) {
+ChaosOutcome run_chaos(ChaosConfig config, std::uint64_t seed, bool byzantine = false,
+                       const std::string* replay_script = nullptr) {
   World world(seed);
   HistoryRecorder hist(world);
 
@@ -159,6 +198,7 @@ ChaosOutcome run_chaos(ChaosConfig config, std::uint64_t seed) {
       FaultPlan plan(world);
       plan.on_crash = [&sys](NodeId n) { sys.crash_node(n); };
       plan.on_restart = [&sys](NodeId n) { sys.restart_node(n); };
+      plan.on_byzantine = [&sys](NodeId n, const ByzantineFlags& f) { sys.set_byzantine(n, f); };
 
       std::vector<std::unique_ptr<SpiderClient>> clients;
       clients.push_back(sys.make_client(Site{Region::Virginia, 0}));
@@ -166,6 +206,8 @@ ChaosOutcome run_chaos(ChaosConfig config, std::uint64_t seed) {
       clients.push_back(sys.make_client(Site{Region::Oregon, 1}));
 
       ScenarioParts parts;
+      parts.byzantine = byzantine;
+      parts.replay_script = replay_script;
       for (std::size_t i = 0; i < clients.size(); ++i) {
         parts.handles.push_back(chaos::ClientHandle::wrap(hist, *clients[i], i));
       }
@@ -177,6 +219,14 @@ ChaosOutcome run_chaos(ChaosConfig config, std::uint64_t seed) {
         for (std::size_t i = 0; i < sys.group_size(g); ++i) members.push_back(sys.exec(g, i).id());
         parts.partition_groups.push_back(std::move(members));
       }
+      // Threat-model caps: ≤fa Byzantine agreement replicas, ≤fe per
+      // execution group (partition_groups[0] is the agreement group, the
+      // rest are the execution groups).
+      parts.byz_consensus_groups = {sys.agreement_ids()};
+      parts.byz_exec_groups.assign(parts.partition_groups.begin() + 1,
+                                   parts.partition_groups.end());
+      parts.max_byz_consensus = topo.fa;
+      parts.max_byz_exec = topo.fe;
       parts.max_concurrent_crashes = config == ChaosConfig::SpiderF2 ? 2 : 1;
       return drive_chaos(world, hist, plan, std::move(parts));
     }
@@ -192,18 +242,26 @@ ChaosOutcome run_chaos(ChaosConfig config, std::uint64_t seed) {
       FaultPlan plan(world);
       plan.on_crash = [&sys](NodeId n) { sys.crash_node(n); };
       plan.on_restart = [&sys](NodeId n) { sys.restart_node(n); };
+      plan.on_byzantine = [&sys](NodeId n, const ByzantineFlags& f) { sys.set_byzantine(n, f); };
 
       std::vector<std::unique_ptr<SpiderClient>> clients;
       clients.push_back(sys.make_client(Site{Region::Virginia, 1}));
       clients.push_back(sys.make_client(Site{Region::Tokyo, 1}));
 
       ScenarioParts parts;
+      parts.byzantine = byzantine;
+      parts.replay_script = replay_script;
       for (std::size_t i = 0; i < clients.size(); ++i) {
         parts.handles.push_back(chaos::ClientHandle::wrap(hist, *clients[i], i));
       }
       parts.reader = chaos::ClientHandle::wrap(hist, *clients[0], 99);
       parts.crash_targets = sys.replica_ids();
       for (NodeId n : sys.replica_ids()) parts.partition_groups.push_back({n});
+      // Baseline replicas both order and execute, so they appear once, as
+      // one consensus group capped at f (they draw corrupt-replies from
+      // the consensus-role action set).
+      parts.byz_consensus_groups = {sys.replica_ids()};
+      parts.max_byz_consensus = cfg.f;
       parts.ops_per_client = 8;  // WAN consensus: each op takes ~2 RTTs
       return drive_chaos(world, hist, plan, std::move(parts));
     }
@@ -223,45 +281,82 @@ ChaosOutcome run_chaos(ChaosConfig config, std::uint64_t seed) {
       FaultPlan plan(world);
       plan.on_crash = [&sys](NodeId n) { sys.crash_node(n); };
       plan.on_restart = [&sys](NodeId n) { sys.restart_node(n); };
+      plan.on_byzantine = [&sys](NodeId n, const ByzantineFlags& f) { sys.set_byzantine(n, f); };
 
       std::vector<std::unique_ptr<ShardedClient>> clients;
       clients.push_back(sys.make_client(Site{Region::Virginia, 0}));
       clients.push_back(sys.make_client(Site{Region::Virginia, 1}));
 
       ScenarioParts parts;
+      parts.byzantine = byzantine;
+      parts.replay_script = replay_script;
       for (std::size_t i = 0; i < clients.size(); ++i) {
         parts.handles.push_back(chaos::ClientHandle::wrap(hist, *clients[i], i));
       }
       parts.reader = chaos::ClientHandle::wrap(hist, *clients[0], 99);
       parts.crash_targets = sys.replica_ids();
       for (std::uint32_t s = 0; s < sys.shard_count(); ++s) {
+        // Each shard's agreement group is its own consensus group (the ≤f
+        // cap applies per group, so both shards may host an adversary).
+        parts.byz_consensus_groups.push_back(sys.core(s).agreement_ids());
         parts.partition_groups.push_back(sys.core(s).agreement_ids());
         for (GroupId g : sys.core(s).group_ids()) {
           std::vector<NodeId> members;
           for (std::size_t i = 0; i < sys.core(s).group_size(g); ++i) {
             members.push_back(sys.core(s).exec(g, i).id());
           }
+          parts.byz_exec_groups.push_back(members);
           parts.partition_groups.push_back(std::move(members));
         }
       }
+      parts.max_byz_consensus = topo.base.fa;
+      parts.max_byz_exec = topo.base.fe;
       return drive_chaos(world, hist, plan, std::move(parts));
     }
   }
   return {};
 }
 
-void write_failure_artifact(ChaosConfig config, std::uint64_t seed, const ChaosOutcome& out) {
-  std::string path = std::string("chaos_failure_") + config_name(config) + "_seed" +
-                     std::to_string(seed) + ".txt";
-  std::ofstream f(path);
+constexpr const char* kScriptHeader = "== fault script (replayable) ==";
+constexpr const char* kHistoryHeader = "== history (replayable) ==";
+
+/// Full failure-artifact text: human-readable context first, then the two
+/// replayable sections an artifact loader extracts.
+std::string artifact_text(ChaosConfig config, std::uint64_t seed, const ChaosOutcome& out) {
+  std::ostringstream f;
   f << "config: " << config_name(config) << "\nseed: " << seed
     << "\ncompleted: " << out.completed << " (pending " << out.pending << "/" << out.total_ops
     << ")\nlinearizable: " << out.lin.ok << " " << out.lin.error
     << "\nlost-writes: " << out.lost_diag << "\n\n== fault schedule ==\n"
     << out.fault_script << "\n== recorded history ==\n"
-    << out.history_dump;
+    << out.history_dump << "\n"
+    << kScriptHeader << "\n"
+    << out.machine_script << kHistoryHeader << "\n"
+    << out.history_text;
+  return f.str();
+}
+
+/// Extracts the section between `header` and the next "== ... ==" line (or
+/// end of text). Returns an empty string if the header is missing.
+std::string artifact_section(const std::string& artifact, const std::string& header) {
+  std::size_t at = artifact.find(header);
+  if (at == std::string::npos) return {};
+  at = artifact.find('\n', at);
+  if (at == std::string::npos) return {};
+  ++at;
+  std::size_t end = artifact.find("\n== ", at);
+  return artifact.substr(at, end == std::string::npos ? std::string::npos : end + 1 - at);
+}
+
+void write_failure_artifact(ChaosConfig config, std::uint64_t seed, const ChaosOutcome& out,
+                            bool byzantine) {
+  std::string path = std::string("chaos_failure_") + (byzantine ? "byz_" : "") +
+                     config_name(config) + "_seed" + std::to_string(seed) + ".txt";
+  std::ofstream f(path);
+  f << artifact_text(config, seed, out);
   ADD_FAILURE() << "chaos scenario failed; artifact written to " << path
-                << " — reproduce with config=" << config_name(config) << " seed=" << seed;
+                << " — reproduce with config=" << config_name(config) << " seed=" << seed
+                << (byzantine ? " (byzantine sweep)" : "");
 }
 
 class ChaosSweep : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
@@ -271,7 +366,7 @@ TEST_P(ChaosSweep, LinearizableAndNoAckedWriteLost) {
   std::uint64_t seed = std::get<1>(GetParam());
   ChaosOutcome out = run_chaos(config, seed);
   if (!out.completed || !out.lin.ok || !out.no_lost_writes) {
-    write_failure_artifact(config, seed, out);
+    write_failure_artifact(config, seed, out, /*byzantine=*/false);
   }
   EXPECT_TRUE(out.completed) << out.pending << " of " << out.total_ops << " ops never completed";
   EXPECT_TRUE(out.lin.ok) << out.lin.error;
@@ -288,6 +383,31 @@ INSTANTIATE_TEST_SUITE_P(Chaos, ChaosSweep,
                                             ::testing::Range<std::uint64_t>(1, 17)),
                          chaos_param_name);
 
+// ---------------------------------------------------------------------------
+// Byzantine sweep: same checked-chaos methodology with active adversaries
+// scheduled on top of the benign faults — linearizability and no-lost-writes
+// must hold under ANY ≤f-per-role Byzantine schedule.
+// ---------------------------------------------------------------------------
+
+class ByzChaosSweep : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ByzChaosSweep, LinearizableUnderActiveAdversaries) {
+  ChaosConfig config = static_cast<ChaosConfig>(std::get<0>(GetParam()));
+  std::uint64_t seed = std::get<1>(GetParam());
+  ChaosOutcome out = run_chaos(config, seed, /*byzantine=*/true);
+  if (!out.completed || !out.lin.ok || !out.no_lost_writes) {
+    write_failure_artifact(config, seed, out, /*byzantine=*/true);
+  }
+  EXPECT_TRUE(out.completed) << out.pending << " of " << out.total_ops << " ops never completed";
+  EXPECT_TRUE(out.lin.ok) << out.lin.error;
+  EXPECT_TRUE(out.no_lost_writes) << out.lost_diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(Chaos, ByzChaosSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Range<std::uint64_t>(101, 109)),
+                         chaos_param_name);
+
 TEST(ChaosDeterminism, SeedReplayIsByteIdentical) {
   ChaosOutcome a = run_chaos(ChaosConfig::SpiderF1, 7);
   ChaosOutcome b = run_chaos(ChaosConfig::SpiderF1, 7);
@@ -297,6 +417,122 @@ TEST(ChaosDeterminism, SeedReplayIsByteIdentical) {
 
   ChaosOutcome c = run_chaos(ChaosConfig::SpiderF1, 8);
   EXPECT_NE(c.history, a.history);
+}
+
+TEST(ChaosDeterminism, ByzantineSeedReplayIsByteIdentical) {
+  ChaosOutcome a = run_chaos(ChaosConfig::SpiderF1, 103, /*byzantine=*/true);
+  ChaosOutcome b = run_chaos(ChaosConfig::SpiderF1, 103, /*byzantine=*/true);
+  EXPECT_EQ(a.fault_script, b.fault_script);
+  EXPECT_EQ(a.machine_script, b.machine_script);
+  EXPECT_EQ(a.history, b.history);
+  EXPECT_FALSE(a.history.empty());
+  // The schedule genuinely contains Byzantine actions.
+  EXPECT_NE(a.machine_script.find("byz "), std::string::npos) << a.machine_script;
+
+  ChaosOutcome c = run_chaos(ChaosConfig::SpiderF1, 104, /*byzantine=*/true);
+  EXPECT_NE(c.history, a.history);
+}
+
+// ---------------------------------------------------------------------------
+// Artifact round trip: a failure artifact is not write-only — its
+// replayable sections reload into a FaultPlan + history and replay
+// byte-identically.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosArtifacts, ArtifactRoundTripReplaysByteIdentically) {
+  ChaosOutcome a = run_chaos(ChaosConfig::SpiderF1, 105, /*byzantine=*/true);
+
+  // Dump the artifact to disk exactly like a failing scenario would...
+  const std::string path = "chaos_artifact_roundtrip.txt";
+  {
+    std::ofstream f(path);
+    f << artifact_text(ChaosConfig::SpiderF1, 105, a);
+  }
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string artifact = buf.str();
+
+  // ...reload both replayable sections...
+  const std::string script = artifact_section(artifact, kScriptHeader);
+  const std::string history_text = artifact_section(artifact, kHistoryHeader);
+  ASSERT_FALSE(script.empty());
+  ASSERT_FALSE(history_text.empty());
+  EXPECT_EQ(script, a.machine_script);
+
+  // ...the history parses back to the recorded bytes...
+  std::vector<RecordedOp> ops = parse_history_text(history_text);
+  EXPECT_EQ(serialize_ops(ops), a.history);
+
+  // ...and replaying the reloaded schedule (instead of randomize())
+  // reproduces the run byte for byte: same fault firings, same history.
+  ChaosOutcome b = run_chaos(ChaosConfig::SpiderF1, 105, /*byzantine=*/true, &script);
+  EXPECT_EQ(b.fault_script, a.fault_script);
+  EXPECT_EQ(b.history, a.history);
+}
+
+// ---------------------------------------------------------------------------
+// Canary: the Byzantine sweep is only meaningful if the checker would
+// actually catch Byzantine damage. Beyond the threat model — fe+1
+// corruptors in one execution group, enough to win the client's vote —
+// the recorded history MUST be flagged; at the fe boundary it must not.
+// ---------------------------------------------------------------------------
+
+SpiderTopology canary_topo() {
+  SpiderTopology topo;
+  topo.exec_regions = {Region::Virginia, Region::Tokyo};
+  topo.ka = 8;
+  topo.ke = 8;
+  topo.ag_win = 32;
+  topo.commit_capacity = 16;
+  topo.client_retry = kSecond;
+  return topo;
+}
+
+TEST(ByzantineCanary, FePlusOneCorruptorsProduceFlaggedHistory) {
+  World world(77);
+  SpiderSystem sys(world, canary_topo());
+  HistoryRecorder hist(world);
+  auto client = sys.make_client(Site{Region::Virginia, 0});
+  GroupId g = client->group().group;
+
+  ByzantineFlags corrupt;
+  corrupt.corrupt_replies = true;
+  ASSERT_TRUE(sys.set_byzantine(sys.exec(g, 0).id(), corrupt));
+  ASSERT_TRUE(sys.set_byzantine(sys.exec(g, 1).id(), corrupt));
+
+  recorded_put(hist, *client, 0, "k", "honest");
+  drive::run_until(world, [&] { return hist.pending_count() == 0; }, 30 * kSecond);
+  recorded_strong_get(hist, *client, 0, "k");
+  bool done = drive::run_until(world, [&] { return hist.pending_count() == 0; }, 30 * kSecond);
+  ASSERT_TRUE(done) << hist.dump();
+
+  // fe+1 = 2 matching corrupted replies win the vote: the client observed
+  // a never-written value, and the checker flags it.
+  LinResult lin = check_kv_history(hist);
+  EXPECT_FALSE(lin.ok) << "checker accepted a corrupted read:\n" << hist.dump();
+}
+
+TEST(ByzantineCanary, FeCorruptorsAreOutvotedAndHistoryStaysClean) {
+  World world(78);
+  SpiderSystem sys(world, canary_topo());
+  HistoryRecorder hist(world);
+  auto client = sys.make_client(Site{Region::Virginia, 0});
+  GroupId g = client->group().group;
+
+  ByzantineFlags corrupt;
+  corrupt.corrupt_replies = true;
+  ASSERT_TRUE(sys.set_byzantine(sys.exec(g, 0).id(), corrupt));
+
+  recorded_put(hist, *client, 0, "k", "honest");
+  drive::run_until(world, [&] { return hist.pending_count() == 0; }, 30 * kSecond);
+  recorded_strong_get(hist, *client, 0, "k");
+  recorded_weak_get(hist, *client, 0, "k");
+  bool done = drive::run_until(world, [&] { return hist.pending_count() == 0; }, 30 * kSecond);
+  ASSERT_TRUE(done) << hist.dump();
+
+  LinResult lin = check_kv_history(hist);
+  EXPECT_TRUE(lin.ok) << lin.error << "\n" << hist.dump();
 }
 
 }  // namespace

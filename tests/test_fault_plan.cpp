@@ -281,5 +281,172 @@ TEST(FaultPlan, RandomizedScheduleIsSeedDeterministic) {
   EXPECT_FALSE(script_for(5).empty());
 }
 
+// ---------------------------------------------------------------------------
+// Byzantine windows
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, ByzantineWindowTogglesFlagsThroughHook) {
+  World world(1);
+  FaultPlan plan(world);
+  std::vector<std::pair<NodeId, ByzantineFlags>> calls;
+  plan.on_byzantine = [&](NodeId n, const ByzantineFlags& f) { calls.emplace_back(n, f); };
+
+  plan.corrupt_replies_at(kSecond, 7, kSecond);
+  plan.mute_at(2500 * kMillisecond, 9, kSecond, /*rx_too=*/true);
+
+  world.run_until(500 * kMillisecond);
+  EXPECT_TRUE(calls.empty());
+  EXPECT_FALSE(plan.byzantine(7).any());
+
+  world.run_until(kSecond + 1);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].first, 7u);
+  EXPECT_TRUE(calls[0].second.corrupt_replies);
+  EXPECT_TRUE(plan.byzantine(7).corrupt_replies);
+
+  world.run_until(2 * kSecond + 1);  // window end clears the node
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_FALSE(calls[1].second.any());
+  EXPECT_FALSE(plan.byzantine(7).any());
+
+  world.run_until(4 * kSecond);  // mute window ran [2.5s, 3.5s)
+  ASSERT_EQ(calls.size(), 4u);
+  EXPECT_EQ(calls[2].first, 9u);
+  EXPECT_TRUE(calls[2].second.mute);
+  EXPECT_TRUE(calls[2].second.mute_rx);
+  EXPECT_FALSE(calls[3].second.any());
+}
+
+TEST(FaultPlan, OverlappingByzantineWindowsExtendAndCompose) {
+  World world(1);
+  FaultPlan plan(world);
+  // Same flag overlapping: [0, 1s) and [0.5s, 1.5s) — the first end must
+  // not clear the flag early. A different flag on the same node composes.
+  plan.corrupt_replies_at(0, 7, kSecond);
+  plan.corrupt_replies_at(500 * kMillisecond, 7, kSecond);
+  plan.drop_forwarding_at(200 * kMillisecond, 7, kSecond);
+
+  world.run_until(1100 * kMillisecond);  // past the first corrupt end
+  EXPECT_TRUE(plan.byzantine(7).corrupt_replies);
+  EXPECT_TRUE(plan.byzantine(7).drop_forwarding);
+  world.run_until(1300 * kMillisecond);  // drop-forwarding window over
+  EXPECT_TRUE(plan.byzantine(7).corrupt_replies);
+  EXPECT_FALSE(plan.byzantine(7).drop_forwarding);
+  world.run_until(2 * kSecond);
+  EXPECT_FALSE(plan.byzantine(7).any());
+}
+
+TEST(FaultPlan, RandomizedByzantineScheduleRespectsPerRoleCaps) {
+  // With caps of 1 per consensus group and 1 per exec group, a schedule of
+  // many Byzantine actions must never touch more than one distinct node
+  // of each group.
+  World world(42);
+  FaultPlan plan(world);
+  std::set<NodeId> touched;
+  plan.on_byzantine = [&](NodeId n, const ByzantineFlags& f) {
+    if (f.any()) touched.insert(n);
+  };
+  FaultPlan::ChaosProfile profile;
+  profile.byz_consensus_groups = {{1, 2, 3, 4}};
+  profile.max_byz_per_consensus_group = 1;
+  profile.byz_exec_groups = {{10, 11, 12}, {20, 21, 22}};
+  profile.max_byz_per_exec_group = 1;
+  profile.byz_actions = 24;
+  plan.randomize(profile);
+  world.run_until(profile.horizon + kSecond);
+
+  EXPECT_FALSE(touched.empty());
+  auto count_in = [&touched](std::vector<NodeId> grp) {
+    std::size_t c = 0;
+    for (NodeId n : grp) c += touched.count(n);
+    return c;
+  };
+  EXPECT_LE(count_in({1, 2, 3, 4}), 1u);
+  EXPECT_LE(count_in({10, 11, 12}), 1u);
+  EXPECT_LE(count_in({20, 21, 22}), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Script round trip
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, ScriptRoundTripReproducesScheduleExactly) {
+  auto build = [](FaultPlan& plan) {
+    plan.partition_nodes_at(kSecond, {1, 2}, {3, 4}, 2 * kSecond);
+    plan.partition_sites_at(kSecond, {Site{Region::Virginia, 0}}, {Site{Region::Tokyo, 1}},
+                            kSecond);
+    plan.crash_at(2 * kSecond, 5);
+    plan.restart_at(4 * kSecond, 5);
+    plan.link_delay_at(3 * kSecond, 1, 3, 80 * kMillisecond, kSecond);
+    plan.link_loss_at(3 * kSecond, 2, 4, 0.375, kSecond);
+    plan.slow_node_at(5 * kSecond, 2, 0.25, kSecond);
+    plan.mute_at(6 * kSecond, 1, kSecond, /*rx_too=*/true);
+    plan.equivocate_at(6 * kSecond, 2, kSecond);
+    plan.forge_checkpoints_at(6 * kSecond, 3, kSecond);
+    plan.corrupt_replies_at(7 * kSecond, 4, kSecond);
+    plan.drop_forwarding_at(7 * kSecond, 5, kSecond);
+    plan.heal_at(8 * kSecond);
+  };
+
+  World w1(1);
+  FaultPlan p1(w1);
+  build(p1);
+  std::string script = p1.serialize_script();
+  ASSERT_FALSE(script.empty());
+
+  World w2(1);
+  FaultPlan p2(w2);
+  p2.schedule_script(script);
+  // The reloaded plan re-serializes AND re-describes identically: same
+  // actions, same order, same parameters (doubles round-trip bit-exactly).
+  EXPECT_EQ(p2.serialize_script(), script);
+  EXPECT_EQ(p2.describe(), p1.describe());
+
+  // And it *behaves* identically: the same Byzantine transitions fire.
+  std::vector<std::pair<NodeId, bool>> t1, t2;
+  World w3(1);
+  FaultPlan p3(w3);
+  p3.on_byzantine = [&t1](NodeId n, const ByzantineFlags& f) { t1.emplace_back(n, f.any()); };
+  build(p3);
+  w3.run_until(10 * kSecond);
+  World w4(1);
+  FaultPlan p4(w4);
+  p4.on_byzantine = [&t2](NodeId n, const ByzantineFlags& f) { t2.emplace_back(n, f.any()); };
+  p4.schedule_script(script);
+  w4.run_until(10 * kSecond);
+  EXPECT_EQ(t1, t2);
+  EXPECT_FALSE(t1.empty());
+}
+
+TEST(FaultPlan, RandomizedScheduleSurvivesScriptRoundTrip) {
+  World w1(9);
+  FaultPlan p1(w1);
+  FaultPlan::ChaosProfile profile;
+  profile.crash_targets = {1, 2, 3, 4};
+  profile.partition_groups = {{1, 2}, {3, 4}};
+  profile.actions = 6;
+  profile.byz_consensus_groups = {{1, 2, 3, 4}};
+  profile.max_byz_per_consensus_group = 1;
+  profile.byz_exec_groups = {{10, 11, 12}};
+  profile.max_byz_per_exec_group = 1;
+  profile.byz_actions = 5;
+  p1.randomize(profile);
+  std::string script = p1.serialize_script();
+
+  World w2(9);
+  FaultPlan p2(w2);
+  p2.schedule_script(script);
+  EXPECT_EQ(p2.serialize_script(), script);
+  EXPECT_EQ(p2.describe(), p1.describe());
+}
+
+TEST(FaultPlan, MalformedScriptThrows) {
+  World world(1);
+  FaultPlan plan(world);
+  EXPECT_THROW(plan.schedule_script("crash notatime 5\n"), std::invalid_argument);
+  EXPECT_THROW(plan.schedule_script("frobnicate 1000\n"), std::invalid_argument);
+  EXPECT_THROW(plan.schedule_script("partition 1000 0 2 1\n"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace spider

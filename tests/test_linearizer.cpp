@@ -207,5 +207,89 @@ TEST(Linearizer, SerializeIsDeterministic) {
   EXPECT_FALSE(build().empty());
 }
 
+// ---------------------------------------------------------------------------
+// Negative paths a Byzantine replica could produce. The chaos suite's
+// Byzantine sweep only proves something if these histories are REJECTED.
+// ---------------------------------------------------------------------------
+
+TEST(Linearizer, CorruptedReplyByteRejected) {
+  // Byzantine value tampering at the byte level (the corrupt_replies test
+  // hook flips the last payload byte): the read returns the written value
+  // with one byte off — never written, must be flagged.
+  HistBuilder b;
+  b.put(1, "x", "honest", 10, 20);
+  Bytes tampered = to_bytes(std::string("honest"));
+  tampered.back() ^= 0xbd;
+  b.at(30);
+  auto id = b.hist.invoke(2, HistOp::StrongGet, "x");
+  b.at(40);
+  b.hist.respond(id, true, tampered);
+  EXPECT_FALSE(check_kv_history(b.hist).ok);
+}
+
+TEST(Linearizer, CorruptedWeakReplyRejected) {
+  // The committed-prefix rule tolerates arbitrary staleness but not
+  // tampering: a weak read returning a corrupted byte string is flagged.
+  HistBuilder b;
+  b.put(1, "x", "honest", 10, 20);
+  Bytes tampered = to_bytes(std::string("honest"));
+  tampered.back() ^= 0xbd;
+  b.at(30);
+  auto id = b.hist.invoke(2, HistOp::WeakGet, "x");
+  b.at(40);
+  b.hist.respond(id, true, tampered);
+  EXPECT_FALSE(check_kv_history(b.hist).ok);
+}
+
+TEST(Linearizer, CommittedWriteLostAfterBeingObservedRejected) {
+  // The write was committed AND observed, then vanishes (e.g. a replica
+  // group rebuilt from a tampered state): seen-then-lost has no
+  // linearization.
+  HistBuilder b;
+  b.put(1, "x", "w1", 10, 20);
+  b.get(2, "x", true, "w1", 30, 40);
+  b.get(2, "x", false, "", 50, 60);  // the key vanished: committed write lost
+  EXPECT_FALSE(check_kv_history(b.hist).ok);
+}
+
+TEST(Linearizer, WeakReadBeyondCommittedPrefixRejected) {
+  // The weak read completes before the write it claims to observe was
+  // even invoked: no prefix of any witness order can contain that write,
+  // so "stale" cannot explain it.
+  HistBuilder b;
+  b.put(1, "x", "a", 10, 20);
+  b.get(2, "x", true, "b", 30, 40, HistOp::WeakGet);
+  b.put(1, "x", "b", 50, 60);
+  EXPECT_FALSE(check_kv_history(b.hist).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Text round trip (chaos failure artifacts embed this encoding).
+// ---------------------------------------------------------------------------
+
+TEST(Linearizer, HistoryTextRoundTripsByteIdentically) {
+  HistBuilder b;
+  b.put(1, "x", "a", 10, 20);
+  b.get(2, "x", true, "a", 30, 40);
+  b.get(3, "x", false, "", 50, 55, HistOp::WeakGet);
+  b.pending_put(4, "y", "never-acked", 60);
+  Bytes binary_value = {0x00, 0xff, 0x20, 0x0a};  // NUL, space, newline
+  b.at(70);
+  auto id = b.hist.invoke(5, HistOp::Put, "y", binary_value);
+  b.at(80);
+  b.hist.respond(id, true);
+
+  std::string text = b.hist.serialize_text();
+  std::vector<RecordedOp> ops = parse_history_text(text);
+  EXPECT_EQ(serialize_ops(ops), b.hist.serialize());
+  EXPECT_EQ(serialize_ops_text(ops), text);
+  EXPECT_EQ(ops.size(), b.hist.ops().size());
+}
+
+TEST(Linearizer, MalformedHistoryTextThrows) {
+  EXPECT_THROW(parse_history_text("op 1 notanumber"), std::invalid_argument);
+  EXPECT_THROW(parse_history_text("nop 1 1 - - 0 0 0 0 -"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace spider
