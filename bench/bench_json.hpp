@@ -1,0 +1,32 @@
+// Machine-readable bench results: the repo's perf trajectory.
+//
+// Every bench binary appends entries to BENCH_pr5.json (JSON lines, one
+// object per line):
+//   {"bench": "...", "metric": "...", "value": 1.23, "unit": "...", "seed": 0}
+// Future PRs regress against these files; CI uploads them as artifacts.
+// Set BENCH_JSON_PATH to redirect, BENCH_JSON=0 to disable.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace spider::bench {
+
+inline void bench_json(const std::string& bench, const std::string& metric, double value,
+                       const std::string& unit, std::uint64_t seed = 0) {
+  const char* enabled = std::getenv("BENCH_JSON");
+  if (enabled && std::string(enabled) == "0") return;
+  const char* path = std::getenv("BENCH_JSON_PATH");
+  std::FILE* f = std::fopen(path ? path : "BENCH_pr5.json", "a");
+  if (!f) return;
+  std::fprintf(f,
+               "{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
+               "\"seed\": %llu}\n",
+               bench.c_str(), metric.c_str(), value, unit.c_str(),
+               static_cast<unsigned long long>(seed));
+  std::fclose(f);
+}
+
+}  // namespace spider::bench

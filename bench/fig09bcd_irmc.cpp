@@ -10,6 +10,9 @@
 // cost of extra sender CPU (share verification + certificate signing) and
 // intra-region LAN traffic.
 #include <cstdio>
+#include <string>
+
+#include "bench/bench_json.hpp"
 
 #include "irmc/rc.hpp"
 #include "irmc/sc.hpp"
@@ -130,9 +133,12 @@ int main() {
   for (IrmcKind kind : {IrmcKind::ReceiverCollect, IrmcKind::SenderCollect}) {
     for (std::size_t size : {256u, 1024u, 4096u, 16384u}) {
       Result r = run_channel(kind, size);
-      std::printf("%-8s %-6zu %12.0f %12.1f %12.1f %12.2f %12.2f\n",
-                  kind == IrmcKind::ReceiverCollect ? "IRMC-RC" : "IRMC-SC", size, r.throughput,
+      const char* variant = kind == IrmcKind::ReceiverCollect ? "IRMC-RC" : "IRMC-SC";
+      std::printf("%-8s %-6zu %12.0f %12.1f %12.1f %12.2f %12.2f\n", variant, size, r.throughput,
                   r.sender_cpu, r.receiver_cpu, r.wan_mbps, r.lan_mbps);
+      std::string key = std::string(variant) + " " + std::to_string(size) + "B";
+      bench_json("fig09bcd_irmc", key + " msgs/s", r.throughput, "msgs/s", 42);
+      bench_json("fig09bcd_irmc", key + " wan", r.wan_mbps, "MB/s", 42);
     }
   }
   return 0;

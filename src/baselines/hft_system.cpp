@@ -156,7 +156,7 @@ void HftReplica::handle_client(NodeId from, Reader& r) {
 
   // Local round: threshold-certify <Update, site, h(frame)>.
   charge_hash(body.size());
-  Sha256Digest h = Sha256::hash(body);
+  Sha256Digest h = hash_cached(body);
   Writer st;
   st.u8(static_cast<std::uint8_t>(Kind::Update));
   st.u32(site_id_);

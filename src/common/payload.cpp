@@ -1,0 +1,52 @@
+#include "common/payload.hpp"
+
+#include <stdexcept>
+
+namespace spider {
+
+namespace {
+constexpr std::size_t kMemoCap = 16;  // bounds per-buffer memo memory
+}
+
+Payload Payload::slice(std::size_t off, std::size_t len) const {
+  if (off > len_ || len > len_ - off) {
+    throw std::out_of_range("Payload::slice out of range");
+  }
+  Payload p;
+  p.buf_ = buf_;
+  p.off_ = off_ + off;
+  p.len_ = len;
+  return p;
+}
+
+Payload Payload::slice_of(BytesView sub) const {
+  if (!contains(sub)) throw std::out_of_range("Payload::slice_of: view not in buffer");
+  Payload p;
+  p.buf_ = buf_;
+  p.off_ = static_cast<std::size_t>(sub.data() - buf_->data.data());
+  p.len_ = sub.size();
+  return p;
+}
+
+Sha256Digest Payload::digest_window(std::size_t off, std::size_t len) const {
+  for (const MemoEntry& e : buf_->memo) {
+    if (e.off == off && e.len == len) return e.digest;
+  }
+  ++buf_->computations;
+  Sha256Digest d = Sha256::hash(BytesView(buf_->data).subspan(off, len));
+  if (buf_->memo.size() == kMemoCap) buf_->memo.pop_back();
+  buf_->memo.insert(buf_->memo.begin(), MemoEntry{off, len, d});
+  return d;
+}
+
+Sha256Digest Payload::digest() const {
+  if (!buf_) return Sha256::hash({});
+  return digest_window(off_, len_);
+}
+
+Sha256Digest Payload::digest_of(BytesView sub) const {
+  if (!contains(sub)) return Sha256::hash(sub);
+  return digest_window(static_cast<std::size_t>(sub.data() - buf_->data.data()), sub.size());
+}
+
+}  // namespace spider

@@ -28,6 +28,12 @@ class SerdeError : public std::runtime_error {
 class Writer {
  public:
   Writer() = default;
+  /// Pre-reserves `size_hint` bytes so message construction with a known
+  /// wire size (batches, wraps, auth frames) allocates exactly once
+  /// instead of growing through the doubling schedule.
+  explicit Writer(std::size_t size_hint) { buf_.reserve(size_hint); }
+
+  void reserve(std::size_t total) { buf_.reserve(total); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { put_le(v, 2); }

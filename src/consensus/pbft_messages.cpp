@@ -17,15 +17,23 @@ Sha256Digest get_digest(Reader& r) {
 
 Sha256Digest request_digest(BytesView request) { return Sha256::hash(request); }
 
+namespace {
+std::size_t batch_wire_size(const std::vector<Bytes>& requests) {
+  std::size_t n = 4;
+  for (const Bytes& m : requests) n += 4 + m.size();
+  return n;
+}
+}  // namespace
+
 Sha256Digest batch_digest(const std::vector<Bytes>& requests) {
-  Writer w;
+  Writer w(batch_wire_size(requests));
   w.u32(static_cast<std::uint32_t>(requests.size()));
   for (const Bytes& m : requests) w.bytes(m);
   return Sha256::hash(w.data());
 }
 
 Bytes PrePrepareMsg::encode() const {
-  Writer w;
+  Writer w(1 + 8 + 8 + batch_wire_size(requests));
   w.u8(static_cast<std::uint8_t>(MsgType::PrePrepare));
   w.u64(view);
   w.u64(seq);

@@ -46,16 +46,22 @@ bool PbftReplica::instance_relevant(SeqNr s) const {
 void PbftReplica::broadcast(BytesView inner, bool sign) {
   if (mute) return;
   if (sign) {
-    Bytes authed = to_bytes(inner);
     host().charge_sign();
     Bytes sig = crypto().sign(self(), auth_bytes(inner));
-    authed.insert(authed.end(), sig.begin(), sig.end());
+    // One signature, one serialization: every group member shares the frame.
+    Payload wire = wire_frame(inner, sig);
     for (std::uint32_t i = 0; i < cfg_.n(); ++i) {
       if (i == cfg_.my_index) continue;
-      send(cfg_.replicas[i], authed);
+      send_wire(cfg_.replicas[i], wire);
     }
   } else {
-    for (std::uint32_t i = 0; i < cfg_.n(); ++i) send_authed(i, inner);
+    // Per-pair MACs differ, but the domain-separated auth bytes are shared.
+    Bytes auth = auth_bytes(inner);
+    for (std::uint32_t i = 0; i < cfg_.n(); ++i) {
+      if (i == cfg_.my_index) continue;
+      host().charge_mac();
+      send_framed(cfg_.replicas[i], inner, crypto().mac(self(), cfg_.replicas[i], auth));
+    }
   }
 }
 
@@ -63,9 +69,7 @@ void PbftReplica::send_authed(std::uint32_t idx, BytesView inner) {
   if (mute || idx == cfg_.my_index) return;
   host().charge_mac();
   Bytes tag_bytes = crypto().mac(self(), cfg_.replicas[idx], auth_bytes(inner));
-  Bytes msg = to_bytes(inner);
-  msg.insert(msg.end(), tag_bytes.begin(), tag_bytes.end());
-  send(cfg_.replicas[idx], msg);
+  send_framed(cfg_.replicas[idx], inner, tag_bytes);
 }
 
 bool PbftReplica::check_mac(NodeId from, BytesView inner, BytesView tag_bytes) {

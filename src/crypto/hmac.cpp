@@ -4,7 +4,7 @@
 
 namespace spider {
 
-Sha256Digest hmac_sha256(BytesView key, BytesView data) {
+HmacKey hmac_precompute(BytesView key) {
   std::array<std::uint8_t, 64> k{};
   if (key.size() > 64) {
     Sha256Digest kd = Sha256::hash(key);
@@ -20,15 +20,29 @@ Sha256Digest hmac_sha256(BytesView key, BytesView data) {
     opad[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(k[static_cast<std::size_t>(i)] ^ 0x5c);
   }
 
-  Sha256 inner;
-  inner.update(BytesView(ipad.data(), ipad.size()));
+  HmacKey hk;
+  hk.inner.update(BytesView(ipad.data(), ipad.size()));
+  hk.outer.update(BytesView(opad.data(), opad.size()));
+  return hk;
+}
+
+Sha256Digest hmac_sha256(const HmacKey& key, BytesView data) {
+  Sha256 inner = key.inner;  // copy the midstate; the key stays reusable
   inner.update(data);
   Sha256Digest inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(BytesView(opad.data(), opad.size()));
+  Sha256 outer = key.outer;
   outer.update(BytesView(inner_digest.data(), inner_digest.size()));
   return outer.finish();
+}
+
+Sha256Digest hmac_sha256(BytesView key, BytesView data) {
+  return hmac_sha256(hmac_precompute(key), data);
+}
+
+Bytes hmac_tag(const HmacKey& key, BytesView data) {
+  Sha256Digest d = hmac_sha256(key, data);
+  return Bytes(d.begin(), d.begin() + 16);
 }
 
 Bytes hmac_tag(BytesView key, BytesView data) {

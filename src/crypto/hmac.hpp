@@ -14,6 +14,21 @@ Sha256Digest hmac_sha256(BytesView key, BytesView data);
 /// Truncated 16-byte MAC, matching common deployments that truncate HMACs.
 Bytes hmac_tag(BytesView key, BytesView data);
 
+/// Precomputed HMAC key schedule: the SHA-256 midstates after absorbing the
+/// ipad/opad key blocks. Deriving it costs the same two compression-function
+/// calls HMAC always pays per key — but a cached HmacKey amortizes them (and
+/// the key-derivation hash) across every MAC under the same key, which is
+/// the per-link steady state of the protocol layer. Digests are
+/// bit-identical to the BytesView overloads.
+struct HmacKey {
+  Sha256 inner;  // context seeded with key ^ ipad
+  Sha256 outer;  // context seeded with key ^ opad
+};
+
+HmacKey hmac_precompute(BytesView key);
+Sha256Digest hmac_sha256(const HmacKey& key, BytesView data);
+Bytes hmac_tag(const HmacKey& key, BytesView data);
+
 /// Constant-time-ish comparison (not security critical in the simulator, but
 /// the real-system idiom is kept).
 bool mac_equal(BytesView a, BytesView b);

@@ -38,12 +38,21 @@ Bytes RealCrypto::mac_key(NodeId a, NodeId b) const {
   return sha256(w.data());
 }
 
+const HmacKey& RealCrypto::pair_hmac(NodeId a, NodeId b) {
+  std::uint64_t k = (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  auto it = pair_hmacs_.find(k);
+  if (it == pair_hmacs_.end()) {
+    it = pair_hmacs_.emplace(k, hmac_precompute(mac_key(a, b))).first;
+  }
+  return it->second;
+}
+
 Bytes RealCrypto::mac(NodeId from, NodeId to, BytesView message) {
-  return hmac_tag(mac_key(from, to), message);
+  return hmac_tag(pair_hmac(from, to), message);
 }
 
 bool RealCrypto::verify_mac(NodeId from, NodeId to, BytesView message, BytesView tag) {
-  return mac_equal(hmac_tag(mac_key(from, to), message), tag);
+  return mac_equal(hmac_tag(pair_hmac(from, to), message), tag);
 }
 
 // ---------------------------------------------------------------- FastCrypto
@@ -70,8 +79,25 @@ Bytes FastCrypto::pair_key(NodeId a, NodeId b) const {
   return sha256(w.data());
 }
 
+const HmacKey& FastCrypto::signer_hmac(NodeId signer) {
+  auto it = signer_hmacs_.find(signer);
+  if (it == signer_hmacs_.end()) {
+    it = signer_hmacs_.emplace(signer, hmac_precompute(key_for(signer))).first;
+  }
+  return it->second;
+}
+
+const HmacKey& FastCrypto::pair_hmac(NodeId a, NodeId b) {
+  std::uint64_t k = (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  auto it = pair_hmacs_.find(k);
+  if (it == pair_hmacs_.end()) {
+    it = pair_hmacs_.emplace(k, hmac_precompute(pair_key(a, b))).first;
+  }
+  return it->second;
+}
+
 Bytes FastCrypto::sign(NodeId signer, BytesView message) {
-  Sha256Digest tag = hmac_sha256(key_for(signer), message);
+  Sha256Digest tag = hmac_sha256(signer_hmac(signer), message);
   // Pad deterministically to the size of an RSA-1024 signature so network
   // byte accounting matches the paper's setup.
   Bytes sig(signature_size(), 0);
@@ -89,11 +115,11 @@ bool FastCrypto::verify(NodeId signer, BytesView message, BytesView signature) {
 }
 
 Bytes FastCrypto::mac(NodeId from, NodeId to, BytesView message) {
-  return hmac_tag(pair_key(from, to), message);
+  return hmac_tag(pair_hmac(from, to), message);
 }
 
 bool FastCrypto::verify_mac(NodeId from, NodeId to, BytesView message, BytesView tag) {
-  return mac_equal(hmac_tag(pair_key(from, to), message), tag);
+  return mac_equal(hmac_tag(pair_hmac(from, to), message), tag);
 }
 
 }  // namespace spider

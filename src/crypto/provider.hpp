@@ -15,11 +15,13 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "crypto/hmac.hpp"
 #include "crypto/rsa.hpp"
 
 namespace spider {
@@ -74,10 +76,14 @@ class RealCrypto : public CryptoProvider {
  private:
   const RsaKeyPair& keys(NodeId node);
   Bytes mac_key(NodeId a, NodeId b) const;
+  const HmacKey& pair_hmac(NodeId a, NodeId b);
 
   std::uint64_t seed_;
   std::size_t key_bits_;
   std::map<NodeId, RsaKeyPair> keypairs_;
+  // Key material is a pure function of (seed, pair); the precomputed HMAC
+  // midstates are cached so steady-state MACs skip re-deriving it.
+  std::unordered_map<std::uint64_t, HmacKey> pair_hmacs_;
 };
 
 /// HMAC-backed simulated signatures. All nodes share a master secret, so
@@ -97,8 +103,16 @@ class FastCrypto : public CryptoProvider {
  private:
   Bytes key_for(NodeId signer) const;
   Bytes pair_key(NodeId a, NodeId b) const;
+  const HmacKey& signer_hmac(NodeId signer);
+  const HmacKey& pair_hmac(NodeId a, NodeId b);
 
   Bytes master_;
+  // Derived keys are pure functions of (master, node ids): cache their
+  // precomputed HMAC midstates so each sign/verify/mac pays only the
+  // message-dependent hashing, not key derivation (two SHA-256 passes per
+  // operation in the naive path).
+  std::unordered_map<NodeId, HmacKey> signer_hmacs_;
+  std::unordered_map<std::uint64_t, HmacKey> pair_hmacs_;
 };
 
 }  // namespace spider

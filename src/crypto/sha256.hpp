@@ -28,6 +28,9 @@ class Sha256 {
 
  private:
   void process_block(const std::uint8_t* block);
+  /// Compresses `nblocks` consecutive 64-byte blocks, dispatching to the
+  /// SHA-NI kernel when the CPU has it (bit-identical digests either way).
+  void process_blocks(const std::uint8_t* data, std::size_t nblocks);
 
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;

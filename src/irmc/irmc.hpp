@@ -50,11 +50,13 @@ struct IrmcConfig {
 };
 
 /// Result of a receive(): either a delivered message or a TooOld exception
-/// carrying the new window start (paper Fig. 14).
+/// carrying the new window start (paper Fig. 14). The message is a
+/// refcounted Payload sharing the receiver's stored buffer — delivery
+/// copies nothing; call message.to_bytes() for an owned copy.
 struct RecvResult {
   bool too_old = false;
   Position window_start = 0;  // set when too_old
-  Bytes message;              // set otherwise
+  Payload message;            // set otherwise
 };
 
 class IrmcSenderEndpoint {

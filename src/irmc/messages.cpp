@@ -14,7 +14,7 @@ Sha256Digest get_digest(Reader& r) {
 }  // namespace
 
 Bytes SendMsg::encode() const {
-  Writer w;
+  Writer w(1 + 8 + 8 + 4 + payload.size());
   w.u8(static_cast<std::uint8_t>(MsgType::Send));
   w.u64(sc);
   w.u64(p);
@@ -27,6 +27,14 @@ SendMsg SendMsg::decode(Reader& r) {
   m.sc = r.u64();
   m.p = r.u64();
   m.payload = r.bytes();
+  return m;
+}
+
+SendMsgView SendMsgView::decode(Reader& r) {
+  SendMsgView m;
+  m.sc = r.u64();
+  m.p = r.u64();
+  m.payload = r.bytes_view();
   return m;
 }
 
@@ -63,7 +71,9 @@ SigShareMsg SigShareMsg::decode(Reader& r) {
 }
 
 Bytes CertificateMsg::encode() const {
-  Writer w;
+  std::size_t hint = 1 + 8 + 8 + 4 + payload.size() + 4;
+  for (const auto& [idx, sig] : shares) hint += 4 + 4 + sig.size();
+  Writer w(hint);
   w.u8(static_cast<std::uint8_t>(MsgType::Certificate));
   w.u64(sc);
   w.u64(p);
@@ -86,6 +96,20 @@ CertificateMsg CertificateMsg::decode(Reader& r) {
   for (std::uint32_t i = 0; i < n; ++i) {
     std::uint32_t idx = r.u32();
     m.shares.emplace_back(idx, r.bytes());
+  }
+  return m;
+}
+
+CertificateMsgView CertificateMsgView::decode(Reader& r) {
+  CertificateMsgView m;
+  m.sc = r.u64();
+  m.p = r.u64();
+  m.payload = r.bytes_view();
+  std::uint32_t n = r.u32();
+  m.shares.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t idx = r.u32();
+    m.shares.emplace_back(idx, r.bytes_view());
   }
   return m;
 }

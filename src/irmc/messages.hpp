@@ -29,6 +29,16 @@ struct SendMsg {
   static SendMsg decode(Reader& r);
 };
 
+/// Zero-copy decode of a SendMsg: `payload` stays a view into the wire
+/// buffer (valid only while the buffer lives — capture() it to retain).
+struct SendMsgView {
+  Subchannel sc = 0;
+  Position p = 0;
+  BytesView payload;
+
+  static SendMsgView decode(Reader& r);
+};
+
 struct MoveMsg {
   Subchannel sc = 0;
   Position p = 0;
@@ -55,6 +65,17 @@ struct CertificateMsg {
 
   Bytes encode() const;
   static CertificateMsg decode(Reader& r);
+};
+
+/// Zero-copy decode of a CertificateMsg: payload and share signatures stay
+/// views into the wire buffer.
+struct CertificateMsgView {
+  Subchannel sc = 0;
+  Position p = 0;
+  BytesView payload;
+  std::vector<std::pair<std::uint32_t, BytesView>> shares;
+
+  static CertificateMsgView decode(Reader& r);
 };
 
 struct ProgressMsg {

@@ -31,12 +31,10 @@ RcSender::~RcSender() {
 void RcSender::send_move(Subchannel sc, Position p) {
   irmc::MoveMsg mv{sc, p};
   Bytes body = mv.encode();
+  Bytes auth = auth_bytes(body);  // shared by all per-receiver MACs
   for (NodeId r : cfg_.receivers) {
     host().charge_mac();
-    Bytes tag = crypto().mac(self(), r, auth_bytes(body));
-    Bytes msg = body;
-    msg.insert(msg.end(), tag.begin(), tag.end());
-    Component::send(r, msg);
+    send_framed(r, body, crypto().mac(self(), r, auth));
   }
 }
 
@@ -66,9 +64,11 @@ void RcSender::transmit(Subchannel sc, Position p, const Bytes& m) {
   host().charge_sign();
   host().charge_hash(body.size());
   Bytes sig = crypto().sign(self(), auth_bytes(body));
-  body.insert(body.end(), sig.begin(), sig.end());
-  for (NodeId r : cfg_.receivers) Component::send(r, body);
-  sent_[sc][p] = std::move(body);
+  // Serialize the frame once; every receiver, retained retransmission copy
+  // and future replay shares this one buffer.
+  Payload wire = wire_frame(body, sig);
+  for (NodeId r : cfg_.receivers) send_wire(r, wire);
+  sent_[sc][p] = std::move(wire);
 }
 
 void RcSender::send(Subchannel sc, Position p, Bytes m, SendCallback done) {
@@ -173,17 +173,14 @@ void RcSender::on_message(NodeId from, Reader& r) {
     irmc::MoveMsg remv{mv.sc, floor};
     Bytes rbody = remv.encode();
     host().charge_mac();
-    Bytes rtag = crypto().mac(self(), from, auth_bytes(rbody));
-    Bytes rmsg = rbody;
-    rmsg.insert(rmsg.end(), rtag.begin(), rtag.end());
-    Component::send(from, rmsg);
+    send_framed(from, rbody, crypto().mac(self(), from, auth_bytes(rbody)));
 
     auto sit = sent_.find(mv.sc);
     if (sit == sent_.end()) return;
     int budget = 64;  // bounded replay per NACK; the receiver re-nacks if needed
     for (auto it = sit->second.lower_bound(mv.p); it != sit->second.end() && budget > 0;
          ++it, --budget) {
-      Component::send(from, it->second);
+      send_wire(from, it->second);
     }
     return;
   }
@@ -223,17 +220,15 @@ void RcReceiver::on_nack_timer() {
     auto prev = last_stalled_.find(sc);
     if (prev == last_stalled_.end() || prev->second != want) continue;
     irmc::MoveMsg nack{sc, want};
-    Writer w;
+    Writer w(1 + 8 + 8);
     w.u8(static_cast<std::uint8_t>(MsgType::Nack));
     w.u64(nack.sc);
     w.u64(nack.p);
     Bytes body = std::move(w).take();
+    Bytes auth = auth_bytes(body);
     for (NodeId s : cfg_.senders) {
       host().charge_mac();
-      Bytes tag = crypto().mac(self(), s, auth_bytes(body));
-      Bytes msg = body;
-      msg.insert(msg.end(), tag.begin(), tag.end());
-      Component::send(s, msg);
+      send_framed(s, body, crypto().mac(self(), s, auth));
     }
   }
   last_stalled_ = std::move(stalled_now);
@@ -304,12 +299,10 @@ void RcReceiver::internal_move(Subchannel sc, Position p) {
   // Tell the senders.
   irmc::MoveMsg mv{sc, p};
   Bytes body = mv.encode();
+  Bytes auth = auth_bytes(body);
   for (NodeId s : cfg_.senders) {
     host().charge_mac();
-    Bytes tag = crypto().mac(self(), s, auth_bytes(body));
-    Bytes msg = body;
-    msg.insert(msg.end(), tag.begin(), tag.end());
-    Component::send(s, msg);
+    send_framed(s, body, crypto().mac(self(), s, auth));
   }
 }
 
@@ -353,7 +346,7 @@ void RcReceiver::on_message(NodeId from, Reader& r) {
 
     Reader br(body);
     br.u8();
-    irmc::SendMsg msg = irmc::SendMsg::decode(br);
+    irmc::SendMsgView msg = irmc::SendMsgView::decode(br);
     note_subchannel(msg.sc);
     Position lo = win_lo(msg.sc);
     // Store only within a bounded horizon (window + one extra window of
@@ -361,9 +354,9 @@ void RcReceiver::on_message(NodeId from, Reader& r) {
     if (msg.p < lo || msg.p > lo + 2 * cfg_.capacity - 1) return;
 
     host().charge_hash(msg.payload.size());
-    std::uint64_t key = digest_prefix(Sha256::hash(msg.payload));
+    std::uint64_t key = digest_prefix(host().hash_cached(msg.payload));
     auto& cand = slots_[msg.sc][msg.p].candidates[key];
-    if (cand.second.empty()) cand.first = std::move(msg.payload);
+    if (cand.second.empty()) cand.first = host().capture(msg.payload);
     cand.second.insert(*idx);
     try_deliver(msg.sc, msg.p);
   } else if (type == MsgType::Move) {
@@ -387,10 +380,7 @@ void RcReceiver::on_message(NodeId from, Reader& r) {
       irmc::MoveMsg grant{mv.sc, win_lo(mv.sc)};
       Bytes gbody = grant.encode();
       host().charge_mac();
-      Bytes gtag = crypto().mac(self(), from, auth_bytes(gbody));
-      Bytes gmsg = gbody;
-      gmsg.insert(gmsg.end(), gtag.begin(), gtag.end());
-      Component::send(from, gmsg);
+      send_framed(from, gbody, crypto().mac(self(), from, auth_bytes(gbody)));
     }
 
     Position& cur = smoves_[{*idx, mv.sc}];

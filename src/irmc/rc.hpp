@@ -44,9 +44,10 @@ class RcSender : public Component, public IrmcSenderEndpoint {
   std::map<std::pair<std::uint32_t, Subchannel>, Position> rwin_;
   // Sends blocked above the window.
   std::map<Subchannel, std::multimap<Position, Queued>> queued_;
-  // Transmitted wires retained within the window for retransmission
-  // (models the paper's reliable point-to-point links).
-  std::map<Subchannel, std::map<Position, Bytes>> sent_;
+  // Transmitted wire frames (tagged + signed) retained within the window
+  // for retransmission (models the paper's reliable point-to-point links).
+  // Payloads: the original multicast and every replay share one buffer.
+  std::map<Subchannel, std::map<Position, Payload>> sent_;
   std::map<Subchannel, Position> own_move_;  // dedup of our own Move broadcasts
   EventQueue::EventId announce_timer_ = EventQueue::kInvalidEvent;
   void send_move(Subchannel sc, Position p);
@@ -65,8 +66,9 @@ class RcReceiver : public Component, public IrmcReceiverEndpoint {
 
  private:
   struct Slot {
-    // candidate digest -> (payload, sender indices that vouched)
-    std::map<std::uint64_t, std::pair<Bytes, std::set<std::uint32_t>>> candidates;
+    // candidate digest -> (payload, sender indices that vouched). The
+    // payload is a zero-copy slice of the first vouching Send's wire.
+    std::map<std::uint64_t, std::pair<Payload, std::set<std::uint32_t>>> candidates;
   };
 
   [[nodiscard]] Position win_lo(Subchannel sc) const;
@@ -77,7 +79,7 @@ class RcReceiver : public Component, public IrmcReceiverEndpoint {
   IrmcConfig cfg_;
   std::map<Subchannel, Position> awin_;
   std::map<Subchannel, std::map<Position, Slot>> slots_;
-  std::map<Subchannel, std::map<Position, Bytes>> ready_;  // fs+1 quorum reached
+  std::map<Subchannel, std::map<Position, Payload>> ready_;  // fs+1 quorum reached
   std::map<Subchannel, std::map<Position, std::vector<ReceiveCallback>>> pending_;
   // Window positions requested by each sender (fs+1 rule forces our window).
   std::map<std::pair<std::uint32_t, Subchannel>, Position> smoves_;

@@ -14,13 +14,6 @@ Position kth_highest(std::vector<Position> vals, std::size_t k) {
   return vals[std::min(k, vals.size() - 1)];
 }
 
-/// MAC-authenticated point-to-point frame.
-Bytes mac_frame(CryptoProvider& crypto, NodeId from, NodeId to, BytesView auth, BytesView body) {
-  Bytes tag = crypto.mac(from, to, auth);
-  Bytes msg = to_bytes(body);
-  msg.insert(msg.end(), tag.begin(), tag.end());
-  return msg;
-}
 }  // namespace
 
 // ------------------------------------------------------------------ sender
@@ -44,9 +37,10 @@ ScSender::~ScSender() {
 void ScSender::send_move(Subchannel sc, Position p) {
   irmc::MoveMsg mv{sc, p};
   Bytes body = mv.encode();
+  Bytes auth = auth_bytes(body);  // shared by all per-receiver MACs
   for (NodeId r : cfg_.receivers) {
     host().charge_mac();
-    Component::send(r, mac_frame(crypto(), self(), r, auth_bytes(body), body));
+    send_framed(r, body, crypto().mac(self(), r, auth));
   }
 }
 
@@ -91,21 +85,22 @@ void ScSender::send(Subchannel sc, Position p, Bytes m, SendCallback done) {
 }
 
 void ScSender::start_transmit(Subchannel sc, Position p, Bytes m) {
-  host().charge_hash(m.size());
-  irmc::SigShareMsg share{sc, p, Sha256::hash(m)};
+  Payload payload(std::move(m));
+  host().charge_hash(payload.size());
+  irmc::SigShareMsg share{sc, p, payload.digest()};
   Bytes body = share.encode();
   host().charge_sign();
   Bytes sig = crypto().sign(self(), auth_bytes(body));
 
-  payloads_[sc][p] = std::move(m);
+  payloads_[sc][p] = std::move(payload);
   shares_[sc][p].shares[my_index_] = {digest_prefix(share.digest), sig};
 
-  // Distribute the share within the sender group (intra-region traffic).
-  Bytes wire = body;
-  wire.insert(wire.end(), sig.begin(), sig.end());
+  // Distribute the share within the sender group (intra-region traffic):
+  // one frame, shared by every group member.
+  Payload wire = wire_frame(body, sig);
   for (std::uint32_t i = 0; i < cfg_.ns(); ++i) {
     if (i == my_index_) continue;
-    Component::send(cfg_.senders[i], wire);
+    send_wire(cfg_.senders[i], wire);
   }
   try_certificate(sc, p);
 }
@@ -115,7 +110,8 @@ void ScSender::try_certificate(Subchannel sc, Position p) {
   auto pit = payloads_[sc].find(p);
   if (pit == payloads_[sc].end()) return;
 
-  irmc::SigShareMsg my_share{sc, p, Sha256::hash(pit->second)};
+  // Memoized: start_transmit already hashed this payload.
+  irmc::SigShareMsg my_share{sc, p, pit->second.digest()};
   std::uint64_t want = digest_prefix(my_share.digest);
 
   auto sit = shares_[sc].find(p);
@@ -127,15 +123,13 @@ void ScSender::try_certificate(Subchannel sc, Position p) {
   }
   if (matching.size() < cfg_.fs + 1) return;
 
-  irmc::CertificateMsg cert{sc, p, pit->second, std::move(matching)};
+  irmc::CertificateMsg cert{sc, p, pit->second.to_bytes(), std::move(matching)};
   Bytes body = cert.encode();
   // The collector signs the certificate (paper Fig. 19, L. 23 signs; we
   // follow the paper text: "sends it in a signed Certificate message").
   host().charge_sign();
   Bytes sig = crypto().sign(self(), auth_bytes(body));
-  Bytes wire = std::move(body);
-  wire.insert(wire.end(), sig.begin(), sig.end());
-  certificates_[sc][p] = std::move(wire);
+  certificates_[sc][p] = wire_frame(body, sig);
 
   for (std::uint32_t ri = 0; ri < cfg_.nr(); ++ri) {
     auto cit = collector_[sc].find(ri);
@@ -147,7 +141,7 @@ void ScSender::try_certificate(Subchannel sc, Position p) {
 void ScSender::send_certificate_to(std::uint32_t receiver_idx, Subchannel sc, Position p) {
   auto cit = certificates_[sc].find(p);
   if (cit == certificates_[sc].end()) return;
-  Component::send(cfg_.receivers[receiver_idx], cit->second);
+  send_wire(cfg_.receivers[receiver_idx], cit->second);
 }
 
 void ScSender::on_progress_timer() {
@@ -164,9 +158,10 @@ void ScSender::on_progress_timer() {
   }
   if (pm.progress.empty()) return;
   Bytes body = pm.encode();
+  Bytes auth = auth_bytes(body);
   for (NodeId r : cfg_.receivers) {
     host().charge_mac();
-    Component::send(r, mac_frame(crypto(), self(), r, auth_bytes(body), body));
+    send_framed(r, body, crypto().mac(self(), r, auth));
   }
 }
 
@@ -281,7 +276,7 @@ void ScSender::on_message(NodeId from, Reader& r) {
       // Queued certificates for this subchannel go out to the new selector.
       auto cit = certificates_.find(sel.sc);
       if (cit != certificates_.end()) {
-        for (const auto& [p, wire] : cit->second) Component::send(cfg_.receivers[*idx], wire);
+        for (const auto& [p, wire] : cit->second) send_wire(cfg_.receivers[*idx], wire);
       }
     }
   }
@@ -358,9 +353,10 @@ void ScReceiver::internal_move(Subchannel sc, Position p) {
 
   irmc::MoveMsg mv{sc, p};
   Bytes body = mv.encode();
+  Bytes auth = auth_bytes(body);
   for (NodeId s : cfg_.senders) {
     host().charge_mac();
-    Component::send(s, mac_frame(crypto(), self(), s, auth_bytes(body), body));
+    send_framed(s, body, crypto().mac(self(), s, auth));
   }
 }
 
@@ -371,7 +367,7 @@ void ScReceiver::deliver_ready(Subchannel sc, Position p) {
   if (cb_it == pit->second.end()) return;
   std::vector<ReceiveCallback> cbs = std::move(cb_it->second);
   pit->second.erase(cb_it);
-  const Bytes& msg = ready_[sc][p];
+  const Payload& msg = ready_[sc][p];
   for (ReceiveCallback& cb : cbs) cb(RecvResult{false, 0, msg});
 }
 
@@ -401,9 +397,10 @@ void ScReceiver::on_gap_timer(Subchannel sc) {
   collector_[sc] = next;
   irmc::SelectMsg sel{sc, next};
   Bytes body = sel.encode();
+  Bytes auth = auth_bytes(body);
   for (NodeId s : cfg_.senders) {
     host().charge_mac();
-    Component::send(s, mac_frame(crypto(), self(), s, auth_bytes(body), body));
+    send_framed(s, body, crypto().mac(self(), s, auth));
   }
   arm_gap_timer(sc);
 }
@@ -425,7 +422,7 @@ void ScReceiver::on_message(NodeId from, Reader& r) {
 
     Reader br(body);
     br.u8();
-    irmc::CertificateMsg cert = irmc::CertificateMsg::decode(br);
+    irmc::CertificateMsgView cert = irmc::CertificateMsgView::decode(br);
     note_subchannel(cert.sc);
     Position lo = win_lo(cert.sc);
     if (cert.p < lo || cert.p > lo + 2 * cfg_.capacity - 1) return;
@@ -435,7 +432,7 @@ void ScReceiver::on_message(NodeId from, Reader& r) {
     // reconstructed SigShare bytes.
     if (cert.shares.size() != cfg_.fs + 1) return;
     host().charge_hash(cert.payload.size());
-    irmc::SigShareMsg expect{cert.sc, cert.p, Sha256::hash(cert.payload)};
+    irmc::SigShareMsg expect{cert.sc, cert.p, host().hash_cached(cert.payload)};
     Bytes share_auth = auth_bytes(expect.encode());
     std::set<std::uint32_t> seen;
     for (const auto& [sidx, ssig] : cert.shares) {
@@ -445,7 +442,7 @@ void ScReceiver::on_message(NodeId from, Reader& r) {
       seen.insert(sidx);
     }
 
-    ready_[cert.sc][cert.p] = std::move(cert.payload);
+    ready_[cert.sc][cert.p] = host().capture(cert.payload);
     deliver_ready(cert.sc, cert.p);
     if (!has_gap(cert.sc)) {
       auto tit = gap_timers_.find(cert.sc);

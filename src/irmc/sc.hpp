@@ -56,9 +56,12 @@ class ScSender : public Component, public IrmcSenderEndpoint {
   std::map<Subchannel, std::multimap<Position, Queued>> queued_;
   std::map<Subchannel, Position> own_move_;
 
-  std::map<Subchannel, std::map<Position, Bytes>> payloads_;     // own copies
+  // Own payload copies; Payload so the per-share digest re-check in
+  // try_certificate reuses one memoized hash instead of re-hashing.
+  std::map<Subchannel, std::map<Position, Payload>> payloads_;
   std::map<Subchannel, std::map<Position, SlotShares>> shares_;
-  std::map<Subchannel, std::map<Position, Bytes>> certificates_;  // encoded, signed
+  // Full signed wire frames; collector sends share one buffer.
+  std::map<Subchannel, std::map<Position, Payload>> certificates_;
   // receiver index -> collector sender index chosen by that receiver.
   std::map<Subchannel, std::map<std::uint32_t, std::uint32_t>> collector_;
   EventQueue::EventId progress_timer_ = EventQueue::kInvalidEvent;
@@ -94,7 +97,7 @@ class ScReceiver : public Component, public IrmcReceiverEndpoint {
   IrmcConfig cfg_;
   std::uint32_t my_index_ = 0;
   std::map<Subchannel, Position> awin_;
-  std::map<Subchannel, std::map<Position, Bytes>> ready_;
+  std::map<Subchannel, std::map<Position, Payload>> ready_;
   std::map<Subchannel, std::map<Position, std::vector<ReceiveCallback>>> pending_;
   std::map<std::pair<std::uint32_t, Subchannel>, Position> smoves_;
 

@@ -3,10 +3,10 @@
 namespace spider {
 
 void ComponentHost::send_component(std::uint32_t tag, NodeId to, BytesView inner) {
-  Writer w;
+  Writer w(4 + inner.size());
   w.u32(tag);
   w.raw(inner);
-  send_to(to, std::move(w).take());
+  send_to(to, Payload(std::move(w)));
 }
 
 void ComponentHost::on_message(NodeId from, BytesView data) {
@@ -21,8 +21,16 @@ void ComponentHost::on_message(NodeId from, BytesView data) {
   }
 }
 
+Payload Component::wire_frame(BytesView body, BytesView auth) const {
+  Writer w(4 + body.size() + auth.size());
+  w.u32(tag_);
+  w.raw(body);
+  w.raw(auth);
+  return Payload(std::move(w));
+}
+
 Bytes Component::auth_bytes(BytesView inner) const {
-  Writer w;
+  Writer w(4 + inner.size());
   w.u32(tag_);
   w.raw(inner);
   return std::move(w).take();

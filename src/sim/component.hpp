@@ -70,6 +70,20 @@ class Component {
 
   void send(NodeId to, BytesView inner) { host_.send_component(tag_, to, inner); }
 
+  /// Builds the full wire frame [tag][body][auth] in one allocation. A
+  /// multicast builds the frame once and send_wire()s the same refcounted
+  /// buffer to every destination (bytes identical to send(to, body+auth)).
+  [[nodiscard]] Payload wire_frame(BytesView body, BytesView auth = {}) const;
+
+  /// Sends a pre-built wire frame (zero-copy: refcount bump per recipient).
+  void send_wire(NodeId to, const Payload& wire) { host_.send_to(to, wire); }
+
+  /// wire_frame + send_wire for single-destination MAC'd frames: one
+  /// allocation instead of body-copy + tag-wrap.
+  void send_framed(NodeId to, BytesView body, BytesView auth) {
+    host_.send_to(to, wire_frame(body, auth));
+  }
+
   /// Domain-separated bytes for signing/MACing: [tag][inner].
   Bytes auth_bytes(BytesView inner) const;
 

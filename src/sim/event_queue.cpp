@@ -1,35 +1,102 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 namespace spider {
+
+// 4-ary layout: children of i are 4i+1 .. 4i+4, parent is (i-1)/4. The
+// wider fan-out halves the tree depth vs a binary heap, and sift moves are
+// mostly std::function pointer swaps on a contiguous vector.
+
+void EventQueue::sift_up(std::size_t i) {
+  Entry e = std::move(heap_[i]);
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(e);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry e = std::move(heap_[i]);
+  for (;;) {
+    std::size_t best = 4 * i + 1;
+    if (best >= n) break;
+    std::size_t last = std::min(best + 4, n);
+    for (std::size_t c = best + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = std::move(heap_[best]);
+    i = best;
+  }
+  heap_[i] = std::move(e);
+}
+
+void EventQueue::pop_root() {
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::drop_dead_root() {
+  while (!heap_.empty() && pending_.find(heap_.front().id) == pending_.end()) pop_root();
+}
 
 EventQueue::EventId EventQueue::schedule_at(Time at, Fn fn) {
   if (at < now_) at = now_;
   EventId id = next_id_++;
-  events_.emplace(Key{at, id}, std::move(fn));
-  index_.emplace(id, at);
+  heap_.push_back(Entry{at, id, std::move(fn)});
+  sift_up(heap_.size() - 1);
+  pending_.insert(id);
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return;
-  events_.erase(Key{it->second, id});
-  index_.erase(it);
+  // Ids are generations: one that already fired (or was never issued) is
+  // absent from pending_, so a stale cancel can never kill a later event.
+  if (pending_.erase(id) == 0) return;
+  maybe_compact();
+}
+
+void EventQueue::maybe_compact() {
+  // Compact when more than half the heap is tombstones, so cancelled
+  // entries cannot accumulate beyond 2x the live set.
+  if (heap_.size() < 64 || pending_.size() * 2 >= heap_.size()) return;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < heap_.size(); ++r) {
+    if (pending_.find(heap_[r].id) == pending_.end()) continue;
+    if (w != r) heap_[w] = std::move(heap_[r]);
+    ++w;
+  }
+  heap_.resize(w);
+  // Floyd heap construction: sift down from the last parent.
+  for (std::size_t i = heap_.size() / 4 + 1; i-- > 0;) {
+    if (i < heap_.size()) sift_down(i);
+  }
 }
 
 bool EventQueue::run_next() {
-  if (events_.empty()) return false;
-  auto it = events_.begin();
-  now_ = it->first.first;
-  Fn fn = std::move(it->second);
-  index_.erase(it->first.second);
-  events_.erase(it);
+  drop_dead_root();
+  if (heap_.empty()) return false;
+  now_ = heap_.front().at;
+  EventId id = heap_.front().id;
+  Fn fn = std::move(heap_.front().fn);
+  pop_root();
+  pending_.erase(id);
   fn();
   return true;
 }
 
 void EventQueue::run_until(Time t) {
-  while (!events_.empty() && events_.begin()->first.first <= t) run_next();
+  for (;;) {
+    drop_dead_root();
+    if (heap_.empty() || heap_.front().at > t) break;
+    run_next();
+  }
   if (now_ < t) now_ = t;
 }
 

@@ -2,12 +2,24 @@
 //
 // Events at equal timestamps run in scheduling order (FIFO), which makes
 // whole-system runs fully deterministic for a given seed.
+//
+// Implementation: a flat 4-ary min-heap ordered by (time, event id). Ids
+// are allocated monotonically and never reused, so the id doubles as both
+// the FIFO tie-break at equal timestamps (exactly the order the previous
+// std::map<pair<Time, EventId>> implementation produced — seed replay stays
+// byte-identical) and as the generation counter for lazy cancellation: a
+// cancel of an id that already fired is a guaranteed no-op because that
+// generation has left `pending_` forever. Cancelled entries stay in the
+// heap as tombstones until they surface (O(1) cancel); to bound heap
+// garbage the heap is compacted in place whenever more than half of it is
+// dead.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "common/time.hpp"
 
@@ -20,17 +32,22 @@ class EventQueue {
   static constexpr EventId kInvalidEvent = 0;
 
   /// Schedules `fn` at absolute time `at` (clamped to now). Returns an id
-  /// usable with cancel().
+  /// usable with cancel(). Amortized O(1): a new event later than
+  /// everything pending (the common case) never sifts.
   EventId schedule_at(Time at, Fn fn);
   /// Schedules `fn` after `delay` from now.
   EventId schedule_after(Duration delay, Fn fn) { return schedule_at(now_ + delay, std::move(fn)); }
 
-  /// Cancels a pending event; no-op if already fired or cancelled.
+  /// Cancels a pending event; no-op if already fired or cancelled. O(1):
+  /// the heap entry becomes a tombstone swept out lazily.
   void cancel(EventId id);
 
   [[nodiscard]] Time now() const { return now_; }
-  [[nodiscard]] bool empty() const { return events_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  /// Heap slots currently occupied (live + tombstones); the compaction
+  /// invariant keeps this below 2x pending() + a small constant.
+  [[nodiscard]] std::size_t heap_slots() const { return heap_.size(); }
 
   /// Runs the earliest event; returns false if none pending.
   bool run_next();
@@ -41,11 +58,25 @@ class EventQueue {
   void run_all(std::size_t max_events = 100'000'000);
 
  private:
-  using Key = std::pair<Time, EventId>;
+  struct Entry {
+    Time at;
+    EventId id;
+    Fn fn;
+  };
+  static bool before(const Entry& a, const Entry& b) {
+    return a.at < b.at || (a.at == b.at && a.id < b.id);
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Pops dead entries off the root until the minimum is live (or empty).
+  void drop_dead_root();
+  void pop_root();
+  void maybe_compact();
+
   Time now_ = 0;
   EventId next_id_ = 1;
-  std::map<Key, Fn> events_;
-  std::map<EventId, Time> index_;
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;  // live (scheduled, not yet fired/cancelled)
 };
 
 }  // namespace spider

@@ -49,7 +49,7 @@ void SimNetwork::set_link_filter(std::function<bool(NodeId, NodeId)> filter) {
   filter_ = std::move(filter);
 }
 
-void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
+void SimNetwork::send(NodeId from, NodeId to, Payload payload) {
   auto from_it = nodes_.find(from);
   auto to_it = nodes_.find(to);
   if (from_it == nodes_.end() || to_it == nodes_.end()) return;

@@ -9,6 +9,7 @@
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "common/payload.hpp"
 #include "common/rng.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/topology.hpp"
@@ -51,7 +52,13 @@ class SimNetwork {
   /// Sends `payload` from `from` to `to`. Messages between distinct node
   /// pairs are independent; messages on the same (from, to) pair are
   /// delivered FIFO (reliable ordered channel, as the paper assumes).
-  void send(NodeId from, NodeId to, Bytes payload);
+  /// The payload is refcounted, not copied: a multicast that passes the
+  /// same Payload for every destination shares one buffer across all
+  /// in-flight deliveries.
+  void send(NodeId from, NodeId to, Payload payload);
+  void send(NodeId from, NodeId to, Bytes payload) {
+    send(from, to, Payload(std::move(payload)));
+  }
 
   // ---- fault injection ------------------------------------------------
   /// Drops every message for which the filter returns false.

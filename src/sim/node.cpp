@@ -18,10 +18,24 @@ Time SimNode::now() const { return world_.queue().now(); }
 
 CryptoProvider& SimNode::crypto() { return world_.crypto(); }
 
-void SimNode::deliver(NodeId from, Bytes data) {
+void SimNode::deliver(NodeId from, Payload data) {
   const CryptoCosts& c = crypto().costs();
   Duration base = c.proc_per_msg + c.proc_per_kb * static_cast<Duration>(data.size()) / 1024;
-  enqueue_task([this, from, msg = std::move(data)]() { on_message(from, msg); }, base);
+  enqueue_task(
+      [this, from, msg = std::move(data)]() {
+        struct Scope {
+          SimNode* n;
+          ~Scope() { n->current_msg_ = nullptr; }
+        } scope{this};
+        current_msg_ = &msg;
+        on_message(from, msg.view());
+      },
+      base);
+}
+
+Sha256Digest SimNode::hash_cached(BytesView sub) const {
+  if (current_msg_ && current_msg_->contains(sub)) return current_msg_->digest_of(sub);
+  return Sha256::hash(sub);
 }
 
 void SimNode::enqueue_task(std::function<void()> logic, Duration base_cost) {
@@ -63,7 +77,7 @@ void SimNode::run_task(std::function<void()> logic, Duration base_cost) {
   // Outputs leave the node once the CPU work is done. A node destroyed
   // (crashed) before that point never got its messages onto the wire.
   if (!outbox_.empty()) {
-    std::vector<std::pair<NodeId, Bytes>> out = std::move(outbox_);
+    std::vector<std::pair<NodeId, Payload>> out = std::move(outbox_);
     outbox_.clear();
     world_.queue().schedule_at(busy_until_, [this, alive = alive_, out = std::move(out)]() mutable {
       if (!*alive) return;
@@ -88,7 +102,7 @@ void SimNode::charge_hash(std::size_t nbytes) {
   charge(crypto().costs().hash_per_kb * static_cast<Duration>(nbytes + 1023) / 1024);
 }
 
-void SimNode::send_to(NodeId to, Bytes data) {
+void SimNode::send_to(NodeId to, Payload data) {
   const CryptoCosts& c = crypto().costs();
   charge(c.proc_per_msg / 2 + c.proc_per_kb * static_cast<Duration>(data.size()) / 1024);
   if (in_task_) {

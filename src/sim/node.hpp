@@ -14,6 +14,7 @@
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "common/payload.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/topology.hpp"
 
@@ -40,7 +41,7 @@ class SimNode {
   virtual void on_message(NodeId from, BytesView data) = 0;
 
   /// Network entry point (schedules CPU handling; do not call from logic).
-  void deliver(NodeId from, Bytes data);
+  void deliver(NodeId from, Payload data);
 
   // ---- usable from within handlers ------------------------------------
   /// Adds CPU work to the current task (delays this task's outputs and all
@@ -52,8 +53,29 @@ class SimNode {
   void charge_hash(std::size_t nbytes);
 
   /// Queues a message; it leaves this node when the current task's CPU work
-  /// is done (or immediately if called outside a task).
-  void send_to(NodeId to, Bytes data);
+  /// is done (or immediately if called outside a task). The Payload form is
+  /// zero-copy: a multicast that passes the same Payload per destination
+  /// shares one serialized buffer end-to-end.
+  void send_to(NodeId to, Payload data);
+  void send_to(NodeId to, Bytes data) { send_to(to, Payload(std::move(data))); }
+
+  /// The wire message currently being handled (set while on_message runs;
+  /// null inside timer tasks). Lets handlers reuse the inbound buffer's
+  /// memoized digests via hash_cached().
+  [[nodiscard]] const Payload* current_message() const { return current_msg_; }
+
+  /// SHA-256 of `sub`, memoized on the inbound message buffer when `sub`
+  /// points into it (the common case for nested wire views). Digests are
+  /// bit-identical to Sha256::hash(sub); only wall-clock cost changes —
+  /// call charge_hash() separately for the modeled CPU cost.
+  [[nodiscard]] Sha256Digest hash_cached(BytesView sub) const;
+
+  /// Retains `sub` beyond the current handler: a zero-copy slice of the
+  /// inbound message when `sub` points into it, an owned copy otherwise.
+  [[nodiscard]] Payload capture(BytesView sub) const {
+    if (current_msg_ && current_msg_->contains(sub)) return current_msg_->slice_of(sub);
+    return Payload(sub);
+  }
 
   /// Timer: fires as a CPU task after `delay`. Returns a cancellable id.
   EventQueue::EventId set_timer(Duration delay, std::function<void()> fn);
@@ -98,7 +120,8 @@ class SimNode {
   // Set while a task executes.
   bool in_task_ = false;
   Duration task_charge_ = 0;
-  std::vector<std::pair<NodeId, Bytes>> outbox_;
+  const Payload* current_msg_ = nullptr;
+  std::vector<std::pair<NodeId, Payload>> outbox_;
 };
 
 }  // namespace spider

@@ -138,7 +138,7 @@ void AgreementReplica::start_pull(GroupId g, Subchannel c) {
         // The client already confirmed a newer request (L. 16-18).
         t_plus_[client] = std::max(t_plus_[client], res.window_start);
       } else {
-        pbft_->order(std::move(res.message));
+        pbft_->order(res.message.to_bytes());
         t_plus_[client] = std::max<std::uint64_t>(t_plus_[client] + 1, 1);
       }
       auto again = channels_.find(g);

@@ -64,21 +64,23 @@ void Checkpointer::gen_cp(SeqNr s, Bytes state) {
     cert.u64(s);
     cert.bytes(tampered);
     cert.bytes(proof.data());
-    Bytes cert_wire = std::move(cert).take();
 
+    Payload vote_wire = wire_frame(vote);
+    Payload cert_frame = wire_frame(cert.data());
     for (NodeId n : group_) {
       if (n == self()) continue;
-      Component::send(n, vote);
-      Component::send(n, cert_wire);
+      send_wire(n, vote_wire);
+      send_wire(n, cert_frame);
     }
     // Keep the genuine snapshot so check_stable can adopt the correct
     // checkpoint when f+1 honest votes stabilize it.
-    own_snapshots_[s] = std::move(state);
+    own_snapshots_[s] = Payload(std::move(state));
     return;
   }
-  host().charge_hash(state.size());
-  Sha256Digest h = Sha256::hash(state);
-  own_snapshots_[s] = std::move(state);
+  Payload snapshot(std::move(state));
+  host().charge_hash(snapshot.size());
+  Sha256Digest h = snapshot.digest();
+  own_snapshots_[s] = std::move(snapshot);
 
   Bytes body = checkpoint_body(s, h);
   host().charge_sign();
@@ -86,10 +88,10 @@ void Checkpointer::gen_cp(SeqNr s, Bytes state) {
   candidates_[s][digest_prefix(h)].digest = h;
   candidates_[s][digest_prefix(h)].sigs[self()] = sig;
 
-  Bytes wire = body;
-  wire.insert(wire.end(), sig.begin(), sig.end());
+  // One frame shared by the whole group.
+  Payload wire = wire_frame(body, sig);
   for (NodeId n : group_) {
-    if (n != self()) Component::send(n, wire);
+    if (n != self()) send_wire(n, wire);
   }
   check_stable(s);
 }
@@ -100,10 +102,10 @@ void Checkpointer::check_stable(SeqNr s) {
   if (cit == candidates_.end()) return;
   for (auto& [key, pending] : cit->second) {
     if (pending.sigs.size() < f_ + 1) continue;
-    // Stable. Do we hold matching state bytes?
+    // Stable. Do we hold matching state bytes? (memoized digest: gen_cp
+    // already hashed this snapshot)
     auto oit = own_snapshots_.find(s);
-    if (oit != own_snapshots_.end() &&
-        digest_prefix(Sha256::hash(oit->second)) == key) {
+    if (oit != own_snapshots_.end() && digest_prefix(oit->second.digest()) == key) {
       deliver(s, std::move(oit->second));
       return;
     }
@@ -125,7 +127,7 @@ Bytes Checkpointer::proof_for(SeqNr s) const {
   return it == stable_proofs_.end() ? Bytes{} : it->second;
 }
 
-void Checkpointer::deliver(SeqNr s, Bytes state) {
+void Checkpointer::deliver(SeqNr s, Payload state) {
   if (s <= last_stable_) return;
   last_stable_ = s;
 
@@ -133,7 +135,7 @@ void Checkpointer::deliver(SeqNr s, Bytes state) {
   auto cit = candidates_.find(s);
   if (cit != candidates_.end()) {
     host().charge_hash(state.size());
-    std::uint64_t key = digest_prefix(Sha256::hash(state));
+    std::uint64_t key = digest_prefix(state.digest());
     auto pit = cit->second.find(key);
     if (pit != cit->second.end()) {
       Writer w;
@@ -147,7 +149,8 @@ void Checkpointer::deliver(SeqNr s, Bytes state) {
       }
       w.u32(count);
       w.raw(entries.data());
-      // Keep only the latest stable state to bound memory.
+      // Keep only the latest stable state to bound memory. Refcount, not
+      // copy: the served state shares the delivered snapshot's buffer.
       stable_states_.clear();
       stable_proofs_.clear();
       stable_states_[s] = state;
@@ -176,13 +179,14 @@ void Checkpointer::fetch_cp(SeqNr s) {
 
 void Checkpointer::retry_fetch() {
   if (fetch_target_ == 0 || fetch_target_ <= last_stable_) return;
-  Writer w;
+  Writer w(1 + 8);
   w.u8(2);  // Fetch
   w.u64(fetch_target_);
+  Payload wire = wire_frame(w.data());
   for (NodeId n : group_) {
-    if (n != self()) Component::send(n, w.data());
+    if (n != self()) send_wire(n, wire);
   }
-  for (NodeId n : fetch_peers_) Component::send(n, w.data());
+  for (NodeId n : fetch_peers_) send_wire(n, wire);
   fetch_timer_ = set_timer(fetch_retry_, [this] {
     fetch_timer_ = EventQueue::kInvalidEvent;
     retry_fetch();
@@ -207,12 +211,13 @@ bool Checkpointer::send_state(NodeId to, SeqNr s) {
 
 void Checkpointer::handle_state(NodeId /*from*/, Reader& r) {
   SeqNr s = r.u64();
-  Bytes state = r.bytes();
+  // Zero-copy: the adopted state is a slice of the inbound wire frame.
+  Payload state = host().capture(r.bytes_view());
   BytesView proof = r.bytes_view();
   if (s <= last_stable_) return;
 
   host().charge_hash(state.size());
-  Sha256Digest h = Sha256::hash(state);
+  Sha256Digest h = state.digest();
   Bytes body = checkpoint_body(s, h);
   Bytes signed_bytes = auth_bytes(body);
 

@@ -73,7 +73,7 @@ class Checkpointer : public Component {
   };
 
   void check_stable(SeqNr s);
-  void deliver(SeqNr s, Bytes state);
+  void deliver(SeqNr s, Payload state);
   Bytes proof_for(SeqNr s) const;
   bool send_state(NodeId to, SeqNr s);
   void handle_state(NodeId from, Reader& r);
@@ -87,8 +87,11 @@ class Checkpointer : public Component {
   SeqNr last_stable_ = 0;
   // Candidate checkpoints: s -> digest -> signature set.
   std::map<SeqNr, std::map<std::uint64_t, Pending>> candidates_;
-  std::map<SeqNr, Bytes> own_snapshots_;       // states this replica produced
-  std::map<SeqNr, Bytes> stable_states_;       // stable states (for peers)
+  // Snapshots are Payloads: the digest a snapshot is voted under is
+  // memoized, so re-checks in check_stable/deliver reuse one hash, and a
+  // stable state served to peers shares the buffer instead of copying.
+  std::map<SeqNr, Payload> own_snapshots_;     // states this replica produced
+  std::map<SeqNr, Payload> stable_states_;     // stable states (for peers)
   std::map<SeqNr, Bytes> stable_proofs_;       // serialized f+1 sig proofs
   std::vector<NodeId> fetch_peers_;
   SeqNr fetch_target_ = 0;

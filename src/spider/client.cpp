@@ -94,15 +94,20 @@ void SpiderClient::arm_retry() {
   });
 }
 
-void SpiderClient::transmit_current() {
+void SpiderClient::transmit_framed(const Bytes& frame) {
+  Bytes auth = tagged(tags::kClient, frame);  // shared across replicas
   for (NodeId replica : group_.members) {
     charge_mac();
-    Bytes mac = crypto().mac(id(), replica, tagged(tags::kClient, current_wire_));
-    Bytes wire = current_wire_;
-    wire.insert(wire.end(), mac.begin(), mac.end());
-    send_to(replica, tagged(tags::kClient, wire));
+    Bytes mac = crypto().mac(id(), replica, auth);
+    Writer w(4 + frame.size() + mac.size());
+    w.u32(tags::kClient);
+    w.raw(frame);
+    w.raw(mac);
+    send_to(replica, Payload(std::move(w)));
   }
 }
+
+void SpiderClient::transmit_current() { transmit_framed(current_wire_); }
 
 void SpiderClient::weak_read(Bytes op, OpCallback cb) {
   submit_direct(OpKind::WeakRead, std::move(op), std::move(cb));
@@ -155,14 +160,7 @@ void SpiderClient::arm_weak_retry() {
 
 void SpiderClient::transmit_weak() {
   ClientRequest req{weak_queue_.front().kind, id(), weak_counter_, weak_queue_.front().op};
-  Bytes frame = ClientFrame{std::move(req), {}}.encode();
-  for (NodeId replica : group_.members) {
-    charge_mac();
-    Bytes mac = crypto().mac(id(), replica, tagged(tags::kClient, frame));
-    Bytes wire = frame;
-    wire.insert(wire.end(), mac.begin(), mac.end());
-    send_to(replica, tagged(tags::kClient, wire));
-  }
+  transmit_framed(ClientFrame{std::move(req), {}}.encode());
 }
 
 void SpiderClient::on_message(NodeId from, BytesView data) {

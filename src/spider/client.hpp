@@ -85,6 +85,9 @@ class SpiderClient : public ComponentHost {
   Duration retry_jitter(Duration base);
   void arm_retry();
   void transmit_current();
+  /// MAC-framed [kClient][frame][mac] fan-out to the whole group; the
+  /// domain-separated auth bytes are computed once and shared.
+  void transmit_framed(const Bytes& frame);
   void start_weak();
   void arm_weak_retry();
   void transmit_weak();

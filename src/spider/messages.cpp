@@ -5,7 +5,7 @@
 namespace spider {
 
 Bytes ClientRequest::encode() const {
-  Writer w;
+  Writer w(1 + 4 + 8 + 4 + op.size());
   w.u8(static_cast<std::uint8_t>(kind));
   w.u32(client);
   w.u64(counter);
@@ -53,7 +53,7 @@ RequestMsg RequestMsg::decode(Reader& r) {
 }
 
 Bytes ExecuteMsg::encode() const {
-  Writer w;
+  Writer w(1 + 8 + 4 + 4 + 8 + 1 + 4 + op.size());
   w.u8(static_cast<std::uint8_t>(kind));
   w.u64(seq);
   w.u32(origin);
@@ -77,7 +77,9 @@ ExecuteMsg ExecuteMsg::decode(Reader& r) {
 }
 
 Bytes ExecuteBatchMsg::encode() const {
-  Writer w;
+  std::size_t hint = 4;
+  for (const ExecuteMsg& x : items) hint += 4 + 30 + x.op.size();
+  Writer w(hint);
   w.u32(static_cast<std::uint32_t>(items.size()));
   for (const ExecuteMsg& x : items) w.bytes(x.encode());
   return std::move(w).take();
@@ -96,7 +98,7 @@ ExecuteBatchMsg ExecuteBatchMsg::decode(Reader& r) {
 }
 
 Bytes ReplyMsg::encode() const {
-  Writer w;
+  Writer w(8 + 4 + result.size() + 1);
   w.u64(counter);
   w.bytes(result);
   w.boolean(weak);

@@ -27,6 +27,8 @@
 
 #include "baselines/bft_system.hpp"
 #include "check/linearizer.hpp"
+#include "common/hex.hpp"
+#include "crypto/sha256.hpp"
 #include "shard/sharded_system.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/world.hpp"
@@ -431,6 +433,54 @@ TEST(ChaosDeterminism, ByzantineSeedReplayIsByteIdentical) {
 
   ChaosOutcome c = run_chaos(ChaosConfig::SpiderF1, 104, /*byzantine=*/true);
   EXPECT_NE(c.history, a.history);
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path equivalence: the zero-copy transport / flat-heap scheduler /
+// memoized-digest pipeline must be *observationally identical* to the
+// pre-optimisation implementation. The goldens below are SHA-256 digests of
+// (machine fault script, recorded history) captured from the naive-copy
+// implementation at the same seeds; any divergence in event order, RNG
+// consumption, wire bytes or simulated timestamps changes them.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosDeterminism, FastPathMatchesPreOptimizationGoldens) {
+  struct Golden {
+    ChaosConfig config;
+    std::uint64_t seed;
+    bool byzantine;
+    const char* script_sha;
+    const char* history_sha;
+  };
+  const Golden goldens[] = {
+      {ChaosConfig::SpiderF1, 7, false,
+       "a17347e98364e2e8e56a1ccb559aaaf3519aff5e27c519d9a0be4724cb84d4a2",
+       "81479ff0304795bc452e7fa52b0d246bafaa4856bce77236f6b43ec175a09dbe"},
+      {ChaosConfig::SpiderF2, 3, false,
+       "a86fc42376d861975983dc6f3b77c871ad1b7e707367c4f678bf51e188116c89",
+       "4e2150d0fcdce76bb449ceb4ab9626312645b7b7c2752c823ac7d70da298fe3c"},
+      {ChaosConfig::PbftBaseline, 11, false,
+       "c54a204ddcd512967101bf9171a1dc1c8cc7c83df9a34a868bd020c950c92a83",
+       "696c6044c47e2164220503d5559b943945e3a35afdba35b46946d87a42623ed4"},
+      {ChaosConfig::Sharded2, 5, false,
+       "76c314389a3059f239a69f3117cbb48aa4fa3c0b1d0d6fae862837548c44a2d9",
+       "25b6f0e81bd18c87e2726bcebf11870bef0139ae6cd8beed8e6a915bf2769a4b"},
+      {ChaosConfig::SpiderF1, 103, true,
+       "10a18b944bd6c01b8cf9df18ab86b5ac13b207f637a55f3ab83ec8f4933239b8",
+       "a8dfef510d5b96e2d4afedfa439a7f49ab386347074f0cada46ce08acb4c50bc"},
+      {ChaosConfig::Sharded2, 107, true,
+       "6ff10948605e10c9fef061ad57925c8bf22f30aabce5a53ff676b9b7c5c0b07f",
+       "16433f29f2d246e7978507b1dbebd8094c1b5f884e07c2abf0f5d1671f94b97b"},
+  };
+  for (const Golden& g : goldens) {
+    ChaosOutcome out = run_chaos(g.config, g.seed, g.byzantine);
+    EXPECT_EQ(to_hex(sha256(to_bytes(out.machine_script))), g.script_sha)
+        << "fault script diverged from the pre-optimisation implementation at "
+        << config_name(g.config) << " seed " << g.seed;
+    EXPECT_EQ(to_hex(sha256(out.history)), g.history_sha)
+        << "recorded history diverged from the pre-optimisation implementation at "
+        << config_name(g.config) << " seed " << g.seed;
+  }
 }
 
 // ---------------------------------------------------------------------------

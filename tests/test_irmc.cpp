@@ -63,7 +63,7 @@ TEST_P(IrmcSuite, DeliversAfterQuorumOfIdenticalSends) {
   for (std::size_t i = 0; i < f.receivers.size(); ++i) {
     f.receivers[i]->receive(5, 1, [&, i](RecvResult res) {
       ASSERT_FALSE(res.too_old);
-      got[i] = res.message;
+      got[i] = res.message.to_bytes();
     });
   }
   f.world.run_for(kSecond);
@@ -76,7 +76,7 @@ TEST_P(IrmcSuite, ReceiveBeforeSendAlsoDelivers) {
   Bytes got;
   f.receivers[0]->receive(1, 1, [&](RecvResult res) {
     ASSERT_FALSE(res.too_old);
-    got = res.message;
+    got = res.message.to_bytes();
   });
   f.world.run_for(10 * kMillisecond);
   f.send_from_all(1, 1, m);
@@ -116,7 +116,7 @@ TEST_P(IrmcSuite, ConflictingContentsNeedTheirOwnQuorum) {
   bool delivered = false;
   f.receivers[0]->receive(2, 1, [&](RecvResult res) {
     delivered = true;
-    got = res.message;
+    got = res.message.to_bytes();
   });
   f.world.run_for(500 * kMillisecond);
   EXPECT_FALSE(delivered);  // one vote each: no quorum
@@ -134,8 +134,8 @@ TEST_P(IrmcSuite, SubchannelsAreIndependent) {
   f.send_from_all(2, 1, mb);
 
   Bytes got_a, got_b;
-  f.receivers[0]->receive(1, 1, [&](RecvResult r) { got_a = r.message; });
-  f.receivers[0]->receive(2, 1, [&](RecvResult r) { got_b = r.message; });
+  f.receivers[0]->receive(1, 1, [&](RecvResult r) { got_a = r.message.to_bytes(); });
+  f.receivers[0]->receive(2, 1, [&](RecvResult r) { got_b = r.message.to_bytes(); });
   f.world.run_for(kSecond);
   EXPECT_EQ(got_a, ma);
   EXPECT_EQ(got_b, mb);
@@ -281,7 +281,7 @@ TEST_P(IrmcSuite, CrashedSenderMinorityHarmless) {
   Bytes m = f.msg(9);
   for (std::size_t i = 1; i < f.senders.size(); ++i) f.senders[i]->send(1, 1, m, {});
   Bytes got;
-  f.receivers[0]->receive(1, 1, [&](RecvResult r) { got = r.message; });
+  f.receivers[0]->receive(1, 1, [&](RecvResult r) { got = r.message.to_bytes(); });
   f.world.run_for(kSecond);
   EXPECT_EQ(got, m);
 }
@@ -350,7 +350,7 @@ TEST(IrmcSc, CollectorSwitchOnSilentCollector) {
   });
 
   Bytes got;
-  f.receivers[0]->receive(1, 1, [&](RecvResult res) { got = res.message; });
+  f.receivers[0]->receive(1, 1, [&](RecvResult res) { got = res.message.to_bytes(); });
   Bytes m = f.msg(1);
   f.send_from_all(1, 1, m);
   // Progress messages from other senders reveal the gap; after the timeout

@@ -129,6 +129,37 @@ TEST(Hex, Malformed) {
   EXPECT_THROW(from_hex("zz"), std::invalid_argument);
 }
 
+TEST(Serde, SizeHintedWriterProducesIdenticalBytes) {
+  // The size hint is a pure allocation optimization: wire bytes must be
+  // byte-identical with and without it, and a (possibly wrong) hint must
+  // never truncate.
+  auto fill = [](Writer& w) {
+    w.u8(7);
+    w.u64(0x1122334455667788ULL);
+    w.str("size-hinted");
+    w.bytes(Bytes(300, 0x5a));
+  };
+  Writer plain;
+  fill(plain);
+  Writer hinted(1 + 8 + 4 + 11 + 4 + 300);
+  fill(hinted);
+  Writer underestimated(4);  // too small: must still grow correctly
+  fill(underestimated);
+  EXPECT_EQ(plain.data(), hinted.data());
+  EXPECT_EQ(plain.data(), underestimated.data());
+}
+
+TEST(Serde, ReaderBytesViewIsZeroCopy) {
+  Writer w;
+  w.bytes(to_bytes(std::string("shared-not-copied")));
+  const Bytes& wire = w.data();
+  Reader r(wire);
+  BytesView v = r.bytes_view();
+  EXPECT_EQ(to_string(v), "shared-not-copied");
+  // The view aliases the wire buffer (no copy happened).
+  EXPECT_EQ(v.data(), wire.data() + 4);
+}
+
 class SerdeSizeSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(SerdeSizeSweep, LargeBufferRoundTrip) {

@@ -79,6 +79,81 @@ TEST(EventQueue, EventsScheduleEvents) {
   EXPECT_EQ(times, (std::vector<Time>{10, 15}));
 }
 
+TEST(EventQueue, FifoTieBreakSurvivesCancelChurn) {
+  // The heap's (time, id) order must reproduce exact scheduling order at
+  // equal timestamps even when interleaved cancels punch holes into the
+  // heap (tombstones must never perturb the survivors' relative order).
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(q.schedule_at(10, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 200; i += 2) q.cancel(ids[static_cast<std::size_t>(i)]);
+  q.run_all();
+  std::vector<int> expect;
+  for (int i = 1; i < 200; i += 2) expect.push_back(i);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, CancelledEntriesDoNotAccumulate) {
+  // Lazy deletion must be bounded: cancelling almost everything compacts
+  // the heap, so tombstones can never exceed ~half the slots.
+  EventQueue q;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(q.schedule_at(100 + i, [] {}));
+  }
+  for (int i = 0; i < 9900; ++i) q.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(q.pending(), 100u);
+  EXPECT_LE(q.heap_slots(), 2 * q.pending() + 64)
+      << "cancel leak: dead entries lingering in the heap";
+
+  // The survivors still fire.
+  std::size_t n = 0;
+  while (q.run_next()) ++n;
+  EXPECT_EQ(n, 100u);
+}
+
+TEST(EventQueue, CancelOfStaleIdNeverKillsALaterEvent) {
+  // Ids are generation counters: once an id fires, cancelling it is a
+  // permanent no-op — it can never alias a later event.
+  EventQueue q;
+  auto stale = q.schedule_at(10, [] {});
+  q.run_all();
+  bool fired = false;
+  q.schedule_at(20, [&] { fired = true; });
+  q.cancel(stale);
+  q.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CancelFromInsideHandler) {
+  EventQueue q;
+  bool victim_fired = false;
+  EventQueue::EventId victim = 0;
+  q.schedule_at(10, [&] { q.cancel(victim); });
+  victim = q.schedule_at(20, [&] { victim_fired = true; });
+  bool after_fired = false;
+  q.schedule_at(30, [&] { after_fired = true; });
+  q.run_all();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_TRUE(after_fired);
+}
+
+TEST(EventQueue, RunUntilSkipsCancelledHead) {
+  EventQueue q;
+  auto head = q.schedule_at(10, [] {});
+  int fired = 0;
+  q.schedule_at(40, [&] { ++fired; });
+  q.cancel(head);
+  q.run_until(20);
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(fired, 0);
+  q.run_until(50);
+  EXPECT_EQ(fired, 1);
+}
+
 // ------------------------------------------------------------- Topology
 
 TEST(Topology, RttSymmetric) {
