@@ -5,7 +5,11 @@
 // deterministic: identical op sequences yield identical states and replies.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/bytes.hpp"
 
@@ -38,6 +42,27 @@ class Application {
   /// Fresh instance of the same application type (for checkpoint transfer
   /// into empty replicas).
   virtual std::unique_ptr<Application> clone_empty() const = 0;
+
+  // ---- live resharding hooks (optional) ----------------------------------
+  // Operation codes with the first byte >= kSysOpBase (0xF0, see
+  // shard/migration.hpp) are reserved for the execution replica itself and
+  // must not be claimed by application opcodes.
+
+  /// Keys an encoded operation touches, for ownership checks at the serving
+  /// replica. Applications that cannot enumerate an op's keys (or are handed
+  /// an op they do not understand) return an empty list, which the replica
+  /// treats as "not key-addressed" — always owned.
+  virtual std::vector<std::string> op_keys(BytesView /*op*/) const { return {}; }
+
+  /// Removes every entry whose key satisfies `moved` and returns the removed
+  /// entries as a deterministic byte string (identical across replicas in
+  /// the same state) for transfer to the gaining shard.
+  virtual Bytes extract_keys(const std::function<bool(std::string_view)>& /*moved*/) {
+    return {};
+  }
+
+  /// Merges a byte string produced by extract_keys into the local state.
+  virtual void absorb_keys(BytesView /*state*/) {}
 };
 
 }  // namespace spider

@@ -222,4 +222,46 @@ void KvStore::restore(BytesView snapshot) {
 
 std::unique_ptr<Application> KvStore::clone_empty() const { return std::make_unique<KvStore>(); }
 
+std::vector<std::string> KvStore::op_keys(BytesView op) const {
+  try {
+    return kv_parse_op(op, /*with_values=*/false).keys;
+  } catch (const SerdeError&) {
+    return {};  // not a KV op (system op, garbage): not key-addressed
+  }
+}
+
+Bytes KvStore::extract_keys(const std::function<bool(std::string_view)>& moved) {
+  // data_ is an ordered map, so the extracted byte string is identical
+  // across replicas in the same state — it must be, because fe+1 replicas
+  // reply with it and the migration driver needs matching replies.
+  Writer w;
+  std::uint32_t n = 0;
+  for (const auto& [key, value] : data_) {
+    if (moved(key)) ++n;
+  }
+  w.u32(n);
+  for (auto it = data_.begin(); it != data_.end();) {
+    if (moved(it->first)) {
+      w.str(it->first);
+      w.bytes(it->second);
+      it = data_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++version_;  // the cut is a mutation: shard_seq must advance deterministically
+  return std::move(w).take();
+}
+
+void KvStore::absorb_keys(BytesView state) {
+  Reader r(state);
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    data_[key] = r.bytes();
+  }
+  r.expect_done();
+  ++version_;
+}
+
 }  // namespace spider

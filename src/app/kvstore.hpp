@@ -68,6 +68,9 @@ class KvStore : public Application {
   Bytes snapshot() const override;
   void restore(BytesView snapshot) override;
   std::unique_ptr<Application> clone_empty() const override;
+  std::vector<std::string> op_keys(BytesView op) const override;
+  Bytes extract_keys(const std::function<bool(std::string_view)>& moved) override;
+  void absorb_keys(BytesView state) override;
 
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   /// Shard sequence number: mutating ops applied so far. Identical across

@@ -41,6 +41,10 @@ void HistoryRecorder::respond(OpId id, bool ok, Bytes result) {
   op.result = std::move(result);
 }
 
+void HistoryRecorder::attribute_shard(OpId id, std::uint32_t shard) {
+  ops_.at(id).shard = shard;
+}
+
 std::size_t HistoryRecorder::pending_count() const {
   std::size_t n = 0;
   for (const RecordedOp& op : ops_) {
@@ -58,7 +62,15 @@ std::vector<std::string> HistoryRecorder::keys() const {
 }
 
 Bytes serialize_ops(const std::vector<RecordedOp>& ops) {
+  // Unattributed histories keep the pre-resharding byte format (goldens and
+  // archived failure artifacts stay valid); any shard attribution switches to
+  // the v2 layout, flagged by a count-position sentinel no v1 history can
+  // produce (a count of 2^32-1 ops would never fit in memory).
+  const bool attributed = std::any_of(ops.begin(), ops.end(), [](const RecordedOp& op) {
+    return op.shard != kShardUnattributed;
+  });
   Writer w;
+  if (attributed) w.u32(0xffffffffu);
   w.u32(static_cast<std::uint32_t>(ops.size()));
   for (const RecordedOp& op : ops) {
     w.u64(op.client);
@@ -70,6 +82,7 @@ Bytes serialize_ops(const std::vector<RecordedOp>& ops) {
     w.boolean(op.responded);
     w.boolean(op.ok);
     w.bytes(op.result);
+    if (attributed) w.u32(op.shard);
   }
   return std::move(w).take();
 }
@@ -91,7 +104,9 @@ std::string serialize_ops_text(const std::vector<RecordedOp>& ops) {
     out << "op " << op.client << " " << static_cast<unsigned>(op.kind) << " "
         << hex_token(to_bytes(op.key)) << " " << hex_token(op.arg) << " " << op.invoke << " "
         << op.respond << " " << (op.responded ? 1 : 0) << " " << (op.ok ? 1 : 0) << " "
-        << hex_token(op.result) << "\n";
+        << hex_token(op.result);
+    if (op.shard != kShardUnattributed) out << " " << op.shard;
+    out << "\n";
   }
   return out.str();
 }
@@ -123,6 +138,8 @@ std::vector<RecordedOp> parse_history_text(const std::string& text) {
     op.responded = responded != 0;
     op.ok = ok != 0;
     op.result = parse_hex_token(result_hex);
+    std::uint32_t shard = 0;
+    if (ls >> shard) op.shard = shard;  // optional trailing token (sharded runs)
     ops.push_back(std::move(op));
   }
   return ops;
@@ -136,6 +153,7 @@ std::string HistoryRecorder::dump() const {
            hist_op_name(op.kind) + "(" + op.key;
     if (op.kind == HistOp::Put) out += ", \"" + to_string(op.arg) + "\"";
     out += ") inv=" + std::to_string(op.invoke);
+    if (op.shard != kShardUnattributed) out += " s" + std::to_string(op.shard);
     if (op.responded) {
       out += " resp=" + std::to_string(op.respond);
       out += op.ok ? " ok" : " miss";

@@ -23,6 +23,10 @@ enum class HistOp : std::uint8_t { Put = 1, Del = 2, StrongGet = 3, WeakGet = 4 
 
 const char* hist_op_name(HistOp op);
 
+/// RecordedOp.shard when the op was not attributed to any shard (ops from
+/// unsharded deployments, or routed ops that failed before reaching one).
+constexpr std::uint32_t kShardUnattributed = 0xffffffffu;
+
 struct RecordedOp {
   std::uint64_t client = 0;
   HistOp kind = HistOp::Put;
@@ -33,6 +37,9 @@ struct RecordedOp {
   bool responded = false;  // false: still pending when the history closed
   bool ok = false;         // reply status (reads: key found)
   Bytes result;            // value read (reads)
+  /// Shard that served the response (resharding runs attribute ops at
+  /// completion time so migrations can be audited per key).
+  std::uint32_t shard = kShardUnattributed;
 
   [[nodiscard]] bool is_write() const { return kind == HistOp::Put || kind == HistOp::Del; }
 };
@@ -46,6 +53,8 @@ class HistoryRecorder {
   /// Records an operation's invocation; returns the id to respond() with.
   OpId invoke(std::uint64_t client, HistOp kind, std::string key, Bytes arg = {});
   void respond(OpId id, bool ok, Bytes result = {});
+  /// Tags the op with the shard that served it (call alongside respond()).
+  void attribute_shard(OpId id, std::uint32_t shard);
 
   [[nodiscard]] const std::vector<RecordedOp>& ops() const { return ops_; }
   [[nodiscard]] std::size_t pending_count() const;

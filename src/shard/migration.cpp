@@ -1,0 +1,95 @@
+#include "shard/migration.hpp"
+
+namespace spider {
+
+Bytes MigrateOutCmd::encode() const {
+  Writer w;
+  w.u8(kSysOpMigrateOut);
+  delta.encode_into(w);
+  return std::move(w).take();
+}
+
+MigrateOutCmd MigrateOutCmd::decode(Reader& r) {
+  MigrateOutCmd cmd;
+  cmd.delta = ShardMapDelta::decode(r);
+  return cmd;
+}
+
+Bytes MigrateInCmd::encode() const {
+  Writer w;
+  w.u8(kSysOpMigrateIn);
+  delta.encode_into(w);
+  w.bytes(state);
+  return std::move(w).take();
+}
+
+MigrateInCmd MigrateInCmd::decode(Reader& r) {
+  MigrateInCmd cmd;
+  cmd.delta = ShardMapDelta::decode(r);
+  cmd.state = r.bytes();
+  return cmd;
+}
+
+Bytes make_wrong_shard_reply(const ShardMap& map) {
+  Writer w;
+  w.u8(kWrongShardStatus);
+  w.bytes(map.encode());
+  return std::move(w).take();
+}
+
+std::optional<ShardMap> try_decode_wrong_shard(BytesView reply) {
+  try {
+    Reader r(reply);
+    if (r.u8() != kWrongShardStatus) return std::nullopt;
+    Bytes table = r.bytes();
+    r.expect_done();
+    Reader tr(table);
+    ShardMap map = ShardMap::decode(tr);
+    tr.expect_done();
+    return map;
+  } catch (const SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes make_migrate_fail_reply() {
+  Writer w;
+  w.u8(0);
+  w.bytes({});
+  return std::move(w).take();
+}
+
+namespace {
+Bytes migrate_ok_reply(std::uint64_t version, BytesView state) {
+  Writer body;
+  body.u64(version);
+  body.bytes(state);
+  Writer w;
+  w.u8(1);
+  w.bytes(body.data());
+  return std::move(w).take();
+}
+}  // namespace
+
+Bytes make_migrate_out_reply(std::uint64_t new_version, BytesView state) {
+  return migrate_ok_reply(new_version, state);
+}
+
+Bytes make_migrate_in_reply(std::uint64_t new_version) {
+  return migrate_ok_reply(new_version, {});
+}
+
+MigrateReply decode_migrate_reply(BytesView reply) {
+  MigrateReply out;
+  Reader r(reply);
+  if (r.u8() != 1) return out;
+  Bytes body = r.bytes();
+  Reader br(body);
+  out.version = br.u64();
+  out.state = br.bytes();
+  br.expect_done();
+  out.ok = true;
+  return out;
+}
+
+}  // namespace spider

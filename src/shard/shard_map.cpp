@@ -88,9 +88,92 @@ ShardMap ShardMap::decode(Reader& r) {
     range.shard = r.u32();
     m.ranges_.push_back(range);
   }
-  if (m.shards_ == 0) throw std::invalid_argument("ShardMap: shards must be >= 1");
+  // The table came off the wire: invariant violations are wire corruption
+  // (or a Byzantine sender), not programming errors, and must surface as
+  // SerdeError so the message-boundary catch drops the frame instead of
+  // letting std::invalid_argument escape and kill the node.
+  if (m.shards_ == 0) throw SerdeError("ShardMap: shards must be >= 1");
+  try {
+    check(m.ranges_, m.shards_);
+  } catch (const std::invalid_argument& e) {
+    throw SerdeError(e.what());
+  }
+  return m;
+}
+
+void ShardMapDelta::encode_into(Writer& w) const {
+  w.u64(base_version);
+  w.u64(new_version);
+  w.u64(lo);
+  w.u64(hi);
+  w.u32(to_shard);
+}
+
+ShardMapDelta ShardMapDelta::decode(Reader& r) {
+  ShardMapDelta d;
+  d.base_version = r.u64();
+  d.new_version = r.u64();
+  d.lo = r.u64();
+  d.hi = r.u64();
+  d.to_shard = r.u32();
+  if (d.new_version <= d.base_version) {
+    throw SerdeError("ShardMapDelta: new version must be newer than base");
+  }
+  if (d.hi != 0 && d.lo >= d.hi) throw SerdeError("ShardMapDelta: empty range");
+  return d;
+}
+
+ShardMap ShardMap::with_delta(const ShardMapDelta& delta) const {
+  if (delta.base_version != version_) {
+    throw std::invalid_argument("ShardMap: delta base version mismatch");
+  }
+  if (delta.new_version <= version_) {
+    throw std::invalid_argument("ShardMap: delta version must be strictly newer");
+  }
+  if (delta.to_shard >= shards_) {
+    throw std::invalid_argument("ShardMap: delta references unknown shard");
+  }
+  // Work in 65-bit space so "top of the hash space" (exclusive) is a real
+  // boundary instead of a wrap-around special case.
+  using U128 = unsigned __int128;
+  const U128 top = U128{1} << 64;
+  const U128 lo = delta.lo;
+  const U128 hi = delta.hi == 0 ? top : U128{delta.hi};
+  if (lo >= hi) throw std::invalid_argument("ShardMap: delta range is empty");
+
+  // Split every existing range against [lo, hi): pieces outside keep their
+  // owner, the piece inside moves. Pushes are strictly increasing, so a
+  // plain adjacent-owner merge canonicalizes the result.
+  std::vector<ShardRange> out;
+  auto push = [&out](U128 start, std::uint32_t shard) {
+    if (!out.empty() && out.back().shard == shard) return;
+    out.push_back(ShardRange{static_cast<std::uint64_t>(start), shard});
+  };
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    const U128 s = ranges_[i].start;
+    const U128 e = i + 1 < ranges_.size() ? U128{ranges_[i + 1].start} : top;
+    const std::uint32_t owner = ranges_[i].shard;
+    if (s < lo) push(s, owner);
+    if (e > lo && s < hi) push(std::max(s, lo), delta.to_shard);
+    if (e > hi) push(std::max(s, hi), owner);
+  }
+
+  ShardMap m;
+  m.shards_ = shards_;
+  m.version_ = delta.new_version;
+  m.ranges_ = std::move(out);
   check(m.ranges_, m.shards_);
   return m;
+}
+
+bool ShardMap::sole_owner_of(std::uint64_t lo, std::uint64_t hi,
+                             std::uint32_t* owner) const {
+  const std::uint32_t first = shard_of_hash(lo);
+  for (const ShardRange& r : ranges_) {
+    if (r.start > lo && (hi == 0 || r.start < hi) && r.shard != first) return false;
+  }
+  if (owner != nullptr) *owner = first;
+  return true;
 }
 
 }  // namespace spider

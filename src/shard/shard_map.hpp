@@ -22,6 +22,25 @@ struct ShardRange {
   std::uint32_t shard = 0;   // owning shard index, < shard_count()
 };
 
+/// Shard index used when an operation cannot be attributed to one shard
+/// (spanning multi-key ops, routing failures).
+constexpr std::uint32_t kNoShard = 0xffffffffu;
+
+/// A single-range ownership move: the unit the live-resharding admin path
+/// ships through MigrateOut/MigrateIn. Applies on top of exactly
+/// `base_version` and moves hashes in [lo, hi) — hi == 0 meaning the top of
+/// the hash space — to `to_shard`.
+struct ShardMapDelta {
+  std::uint64_t base_version = 0;
+  std::uint64_t new_version = 0;  // must be > base_version
+  std::uint64_t lo = 0;           // inclusive lower bound of the moved range
+  std::uint64_t hi = 0;           // exclusive upper bound; 0 = top of space
+  std::uint32_t to_shard = 0;
+
+  void encode_into(Writer& w) const;
+  static ShardMapDelta decode(Reader& r);
+};
+
 class ShardMap {
  public:
   /// Equal-width partition of the hash space over `shards` shards,
@@ -45,7 +64,23 @@ class ShardMap {
   /// valid shards, and carry a strictly newer version.
   void set_ranges(std::vector<ShardRange> ranges, std::uint64_t version);
 
+  /// Returns a copy with `delta` spliced in: hashes in [lo, hi) reassigned
+  /// to delta.to_shard, adjacent same-owner ranges merged, version bumped to
+  /// delta.new_version. Throws std::invalid_argument when the delta does not
+  /// apply to this table (base version mismatch, unknown shard, empty range,
+  /// stale new version).
+  [[nodiscard]] ShardMap with_delta(const ShardMapDelta& delta) const;
+
+  /// True iff every hash in [lo, hi) (hi == 0 = top of space) is owned by a
+  /// single shard; that shard is written to *owner on success.
+  [[nodiscard]] bool sole_owner_of(std::uint64_t lo, std::uint64_t hi,
+                                   std::uint32_t* owner) const;
+
   Bytes encode() const;
+  /// Decodes and validates a wire table. Malformed tables — gaps, overlaps,
+  /// out-of-range shard ids, zero shard count — throw SerdeError like any
+  /// other wire-decode failure, so a Byzantine redirect cannot install a
+  /// broken table (it is caught and dropped at the message boundary).
   static ShardMap decode(Reader& r);
 
  private:

@@ -5,6 +5,14 @@
 // are parsed and routed to the owning shard; multi-key MGET/MPUT fan out
 // one per-shard sub-operation each and merge the replies.
 //
+// Live resharding: every routed op is tracked until it completes. A
+// WrongShard redirect carries the serving replica's (newer) map, which the
+// router adopts before re-routing the op; adopting a newer map — from a
+// redirect or via adopt_map — also cancels and re-routes every pending op,
+// so an op retrying against a shard that lost its key cannot livelock.
+// Re-routing re-submits the op under a fresh counter on another subclient:
+// if the original was already committed, delivery is at-least-once.
+//
 // Consistency caveat (documented in the README): ops are atomic *within*
 // one shard — a per-shard MPUT is a single ordered command — but a
 // cross-shard MGET/MPUT is NOT atomic across shards. Another client can
@@ -28,6 +36,10 @@ namespace spider {
 class ShardedClient {
  public:
   using OpCallback = SpiderClient::OpCallback;
+  /// Like OpCallback, but also reports the shard that served the op
+  /// (kNoShard when routing failed), for at-commit-time attribution.
+  using RoutedCallback =
+      std::function<void(Bytes result, Duration latency, std::uint32_t shard)>;
 
   /// `subclients[s]` serves shard s; one per map.shard_count().
   ShardedClient(World& world, ShardMap map,
@@ -36,10 +48,17 @@ class ShardedClient {
   // ---- single-shard ops (parsed + routed) --------------------------------
   /// Routes an encoded KV op to the shard owning its key. Multi-key ops are
   /// accepted when every key maps to the same shard; a cross-shard op
-  /// throws std::invalid_argument (use mget/mput instead).
+  /// throws std::invalid_argument (use mget/mput instead). An op whose keys
+  /// are split across shards by a map adopted *mid-flight* does not throw —
+  /// it completes with a failure reply (documented migration caveat).
   void write(Bytes op, OpCallback cb);
   void strong_read(Bytes op, OpCallback cb);
   void weak_read(Bytes op, OpCallback cb);
+
+  // Routed variants reporting the serving shard.
+  void write_routed(Bytes op, RoutedCallback cb);
+  void strong_read_routed(Bytes op, RoutedCallback cb);
+  void weak_read_routed(Bytes op, RoutedCallback cb);
 
   // Convenience wrappers over the routed paths.
   void put(const std::string& key, Bytes value, OpCallback cb) {
@@ -83,6 +102,9 @@ class ShardedClient {
   /// Version-gated rebalance visibility: adopts `map` iff it is strictly
   /// newer than the router's current table (same shard count); stale or
   /// equal versions are ignored. Returns whether the table was adopted.
+  /// Adoption cancels and re-routes every pending op (including ops parked
+  /// in a subclient's retransmit loop), so nothing keeps chasing a shard
+  /// that no longer owns its keys.
   bool adopt_map(const ShardMap& map);
 
   // ---- introspection -----------------------------------------------------
@@ -96,8 +118,54 @@ class ShardedClient {
   SpiderClient& shard_client(std::uint32_t s) { return *subclients_.at(s); }
   [[nodiscard]] const ShardMap& map() const { return map_; }
   [[nodiscard]] std::uint64_t retries() const;
+  /// WrongShard redirects received (each one re-routes or parks an op).
+  [[nodiscard]] std::uint64_t redirects() const { return redirects_; }
+  /// Newer maps installed (via adopt_map or redirect).
+  [[nodiscard]] std::uint64_t maps_adopted() const { return maps_adopted_; }
+  /// Ops cancelled-and-re-routed by map adoptions.
+  [[nodiscard]] std::uint64_t reroutes() const { return reroutes_; }
+  /// Router-tracked ops not yet completed.
+  [[nodiscard]] std::size_t pending_ops() const { return active_.size(); }
 
  private:
+  enum class Path : std::uint8_t { Write, Strong, Weak };
+
+  /// One router-tracked op: survives redirects and map adoptions until its
+  /// final reply (or routing failure) fires `done`.
+  struct Inflight {
+    Path path = Path::Write;
+    Bytes op;
+    Time start = 0;
+    std::uint32_t shard = kNoShard;  // subclient currently carrying the op
+    bool parked = false;             // waiting out a stale redirect
+    std::function<void(Bytes reply, std::uint32_t shard)> done;
+    std::function<void()> reissue;   // re-route under the current map
+  };
+
+  /// The callback handed to subclients. A named type (not a lambda) so
+  /// reroute_pending can recognize router-tracked ops among cancelled ones
+  /// via std::function::target and recover their record ids.
+  struct RecordCompletion {
+    ShardedClient* self;
+    std::uint64_t id;
+    void operator()(Bytes reply, Duration latency) const;
+  };
+
+  struct MgetJob;
+  struct MputJob;
+
+  std::uint64_t submit_routed(Path path, std::uint32_t shard, Bytes op,
+                              RoutedCallback cb);
+  void issue_to(std::uint64_t id, std::uint32_t shard);
+  void reissue_single(std::uint64_t id);
+  void on_sub_reply(std::uint64_t id, Bytes reply);
+  void park(std::uint64_t id);
+  void reroute_pending();
+  std::size_t issue_mget_parts(const std::shared_ptr<MgetJob>& job,
+                               const std::vector<std::size_t>& idxs);
+  std::size_t issue_mput_parts(const std::shared_ptr<MputJob>& job,
+                               const std::vector<std::size_t>& idxs);
+
   /// Splits `keys` into per-shard key lists, remembering original indices.
   std::map<std::uint32_t, std::vector<std::size_t>> group_by_shard(
       const std::vector<std::string>& keys) const;
@@ -105,6 +173,11 @@ class ShardedClient {
   World& world_;
   ShardMap map_;
   std::vector<std::unique_ptr<SpiderClient>> subclients_;
+  std::map<std::uint64_t, std::shared_ptr<Inflight>> active_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t redirects_ = 0;
+  std::uint64_t maps_adopted_ = 0;
+  std::uint64_t reroutes_ = 0;
 };
 
 }  // namespace spider

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "shard/migration.hpp"
 #include "sim/world.hpp"
 
 namespace spider {
@@ -29,6 +30,10 @@ ShardedSpiderSystem::ShardedSpiderSystem(World& world, ShardedTopology topology)
   for (std::uint32_t s = 0; s < topo_.shards; ++s) {
     SpiderTopology core_topo = topo_.base;
     core_topo.first_group_id = 1 + static_cast<GroupId>(s) * topo_.group_id_stride;
+    if (topo_.resharding) {
+      core_topo.shard_map = map_;
+      core_topo.shard_index = s;
+    }
     cores_.push_back(std::make_unique<SpiderSystem>(world_, std::move(core_topo)));
   }
 }
@@ -64,6 +69,82 @@ void ShardedSpiderSystem::set_shard_map(ShardMap map) {
         "ShardedSpiderSystem: shard map must keep the deployment's shard count");
   }
   map_ = std::move(map);
+}
+
+void ShardedSpiderSystem::migrate_range(std::uint64_t lo, std::uint64_t hi,
+                                        std::uint32_t to_shard,
+                                        std::function<void(bool)> done) {
+  if (!topo_.resharding) {
+    throw std::logic_error(
+        "ShardedSpiderSystem: migrate_range requires ShardedTopology.resharding");
+  }
+  if (to_shard >= shard_count()) {
+    throw std::invalid_argument("ShardedSpiderSystem: unknown target shard");
+  }
+  if (migrating_) {
+    throw std::logic_error("ShardedSpiderSystem: one migration at a time");
+  }
+  std::uint32_t from = 0;
+  if (!map_.sole_owner_of(lo, hi, &from)) {
+    throw std::invalid_argument(
+        "ShardedSpiderSystem: migrated range spans owners (move one range at a time)");
+  }
+  if (from == to_shard) {
+    if (done) done(true);
+    return;
+  }
+
+  const ShardMapDelta delta{map_.version(), map_.version() + 1, lo, hi, to_shard};
+  (void)map_.with_delta(delta);  // validate up front: bad deltas throw, not fail async
+  migrating_ = true;
+
+  // Phase 1 — ordered MigrateOut at the losing core: every execution
+  // replica cuts the range and replies with its serialized state; the
+  // admin client's fe+1 matching replies certify those bytes.
+  cores_[from]->admin().write(
+      MigrateOutCmd{delta}.encode(),
+      [this, delta, to_shard, done = std::move(done)](Bytes reply, Duration) mutable {
+        MigrateReply out = decode_migrate_reply(reply);
+        if (!out.ok) {
+          migrating_ = false;
+          if (done) done(false);
+          return;
+        }
+        const Time cut_at = world_.now();
+        // Phase 2 — ordered MigrateIn at the gaining core: replicas absorb
+        // the certified state and start serving the range.
+        cores_[to_shard]->admin().write(
+            MigrateInCmd{delta, std::move(out.state)}.encode(),
+            [this, delta, cut_at, done = std::move(done)](Bytes reply2, Duration) {
+              MigrateReply in = decode_migrate_reply(reply2);
+              migrating_ = false;
+              if (!in.ok) {
+                if (done) done(false);
+                return;
+              }
+              map_ = map_.with_delta(delta);
+              last_pause_ = world_.now() - cut_at;
+              ++migrations_;
+              if (done) done(true);
+            });
+      });
+}
+
+void ShardedSpiderSystem::migrate_key_range(const std::string& key, std::uint32_t to_shard,
+                                            std::function<void(bool)> done) {
+  const std::uint64_t h = ShardMap::hash_key(key);
+  const std::vector<ShardRange>& ranges = map_.ranges();
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  // top of space unless a later range bounds it
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const bool last = i + 1 == ranges.size();
+    if (h >= ranges[i].start && (last || h < ranges[i + 1].start)) {
+      lo = ranges[i].start;
+      hi = last ? 0 : ranges[i + 1].start;
+      break;
+    }
+  }
+  migrate_range(lo, hi, to_shard, std::move(done));
 }
 
 bool ShardedSpiderSystem::crash_node(NodeId id) {

@@ -31,6 +31,12 @@ struct ShardedTopology {
   /// GroupId range reserved per core; must exceed the number of execution
   /// groups a core will ever host (including runtime add_group calls).
   GroupId group_id_stride = 1024;
+  /// Enables live resharding: execution replicas enforce the shard map
+  /// (foreign keys answered with a WrongShard redirect) and accept
+  /// MigrateOut/MigrateIn admin ops, so migrate_range works at runtime.
+  /// Off by default — statically sharded deployments behave exactly as
+  /// before (no ownership checks, byte-identical histories).
+  bool resharding = false;
 };
 
 /// Up-front validation shared with SpiderTopology (satellite of ISSUE 2):
@@ -71,6 +77,29 @@ class ShardedSpiderSystem {
   /// that adopt_map() it. The shard count is fixed by the deployment.
   void set_shard_map(ShardMap map);
 
+  // ---- live resharding (requires ShardedTopology.resharding) -------------
+  /// Moves the hash range [lo, hi) — hi == 0 meaning the top of the hash
+  /// space — to `to_shard` while the deployment keeps serving traffic:
+  /// an ordered MigrateOut at the (single) losing shard cuts the range out
+  /// of every replica and certifies its state with the reply quorum, then
+  /// an ordered MigrateIn at the gaining shard absorbs it. Replicas answer
+  /// foreign keys with WrongShard redirects from commit time on, so routers
+  /// catch up organically. One migration at a time; `done(ok)` fires when
+  /// the gaining shard has committed (ok == false when a side rejected the
+  /// delta). Throws std::logic_error without resharding enabled and
+  /// std::invalid_argument for an unknown target or multi-owner range.
+  void migrate_range(std::uint64_t lo, std::uint64_t hi, std::uint32_t to_shard,
+                     std::function<void(bool ok)> done = {});
+  /// Convenience: migrates the whole range owning `key` to `to_shard`.
+  void migrate_key_range(const std::string& key, std::uint32_t to_shard,
+                         std::function<void(bool ok)> done = {});
+  [[nodiscard]] bool migration_in_flight() const { return migrating_; }
+  [[nodiscard]] std::uint64_t migrations_completed() const { return migrations_; }
+  /// Sim-time gap between MigrateOut completing (range cut) and MigrateIn
+  /// completing (range served again) for the most recent migration — the
+  /// unavailability window the micro_reshard bench reports.
+  [[nodiscard]] Duration last_migration_pause() const { return last_pause_; }
+
   [[nodiscard]] World& world() { return world_; }
   [[nodiscard]] const ShardedTopology& topology() const { return topo_; }
 
@@ -81,6 +110,9 @@ class ShardedSpiderSystem {
   ShardedTopology topo_;
   ShardMap map_;
   std::vector<std::unique_ptr<SpiderSystem>> cores_;
+  bool migrating_ = false;
+  std::uint64_t migrations_ = 0;
+  Duration last_pause_ = 0;
 };
 
 }  // namespace spider

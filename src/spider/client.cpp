@@ -125,12 +125,16 @@ void SpiderClient::start_weak() {
   ++weak_counter_;
   weak_replies_.clear();
   weak_start_ = now();
+  weak_retry_cur_ = retry_;
   transmit_weak();
   arm_weak_retry();
 }
 
 void SpiderClient::arm_weak_retry() {
-  weak_retry_timer_ = set_timer(retry_ + retry_jitter(retry_), [this] {
+  // Same capped exponential backoff + jitter as the ordered path. The
+  // direct path used to re-arm at the constant base interval, which turned
+  // every partition into a deterministic weak-read retry storm.
+  weak_retry_timer_ = set_timer(weak_retry_cur_ + retry_jitter(weak_retry_cur_), [this] {
     weak_retry_timer_ = EventQueue::kInvalidEvent;
     if (!weak_in_flight_) return;
     if (weak_queue_.front().kind == OpKind::StrongRead &&
@@ -154,8 +158,44 @@ void SpiderClient::arm_weak_retry() {
     }
     ++retries_;
     transmit_weak();
+    weak_retry_cur_ = std::min<Duration>(weak_retry_cur_ * 2, kRetryBackoffCap * retry_);
     arm_weak_retry();
   });
+}
+
+std::vector<SpiderClient::PendingOp> SpiderClient::cancel_pending() {
+  std::vector<PendingOp> out;
+  for (OrderedOp& op : queue_) {
+    out.push_back(PendingOp{op.kind, std::move(op.op), std::move(op.cb)});
+  }
+  queue_.clear();
+  in_flight_ = false;
+  current_wire_.clear();
+  replies_.clear();
+  if (retry_timer_ != EventQueue::kInvalidEvent) {
+    cancel_timer(retry_timer_);
+    retry_timer_ = EventQueue::kInvalidEvent;
+  }
+  for (WeakOp& op : weak_queue_) {
+    out.push_back(PendingOp{op.kind, std::move(op.op), std::move(op.cb)});
+  }
+  weak_queue_.clear();
+  weak_in_flight_ = false;
+  weak_replies_.clear();
+  if (weak_retry_timer_ != EventQueue::kInvalidEvent) {
+    cancel_timer(weak_retry_timer_);
+    weak_retry_timer_ = EventQueue::kInvalidEvent;
+  }
+  return out;
+}
+
+void SpiderClient::resubmit(PendingOp op) {
+  if (op.kind == OpKind::WeakRead ||
+      (op.kind == OpKind::StrongRead && group_.direct_strong_reads)) {
+    submit_direct(op.kind, std::move(op.op), std::move(op.cb));
+  } else {
+    submit_ordered(op.kind, std::move(op.op), std::move(op.cb));
+  }
 }
 
 void SpiderClient::transmit_weak() {

@@ -70,6 +70,23 @@ class SpiderClient : public ComponentHost {
 
   void on_message(NodeId from, BytesView data) override;
 
+  /// Cancels every queued and in-flight operation — ordered and direct — and
+  /// returns them in submission order (ordered queue first) with their
+  /// callbacks, which have NOT been invoked. Routers use this to re-route
+  /// ops that are retrying against a shard that no longer owns their keys.
+  /// An in-flight write may already have committed; re-submitting it is
+  /// at-least-once, not exactly-once.
+  struct PendingOp {
+    OpKind kind;
+    Bytes op;
+    OpCallback cb;
+  };
+  std::vector<PendingOp> cancel_pending();
+
+  /// Re-submits a cancelled op with its original kind (weak reads re-enter
+  /// the direct path, everything else the ordered path).
+  void resubmit(PendingOp op);
+
   [[nodiscard]] const ClientGroupInfo& group() const { return group_; }
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
 
@@ -118,6 +135,7 @@ class SpiderClient : public ComponentHost {
   void submit_direct(OpKind kind, Bytes op, OpCallback cb);
   std::deque<WeakOp> weak_queue_;
   bool weak_in_flight_ = false;
+  Duration weak_retry_cur_ = 0;  // current backoff interval for the direct op
   std::uint64_t weak_attempts_ = 0;  // retransmissions of the in-flight direct op
   std::uint64_t weak_counter_ = 0;
   Time weak_start_ = 0;

@@ -21,7 +21,8 @@ constexpr Duration kExecCost = 8;
 ExecutionReplica::ExecutionReplica(World& world, Site site, ExecutionConfig cfg,
                                    std::unique_ptr<Application> app)
     : ComponentHost(world, cfg.self == kInvalidNode ? world.allocate_id() : cfg.self, site),
-      cfg_(std::move(cfg)), app_(std::move(app)) {
+      cfg_(std::move(cfg)), app_(std::move(app)), map_(cfg_.shard_map),
+      shard_index_(cfg_.shard_index) {
   IrmcConfig req_cfg;
   req_cfg.senders = cfg_.members;
   req_cfg.receivers = cfg_.agreement;
@@ -98,7 +99,13 @@ void ExecutionReplica::handle_client(NodeId from, Reader& r) {
   if (req.client != from) return;  // claimed identity must match the channel
 
   if (req.kind == OpKind::WeakRead) {
-    // Fast path: answer from local state, no ordering (paper §3.3).
+    // Fast path: answer from local state, no ordering (paper §3.3). Keys
+    // this shard no longer owns get a versioned redirect instead of a
+    // stale answer.
+    if (!owns_keys(req.op)) {
+      reply_to(from, req.counter, make_wrong_shard_reply(*map_), /*weak=*/true);
+      return;
+    }
     charge(kExecCost);
     Bytes result = app_->execute_weak(req.op);
     reply_to(from, req.counter, result, /*weak=*/true);
@@ -167,6 +174,16 @@ void ExecutionReplica::process_batch(const ExecuteBatchMsg& batch) {
   // Apply the whole batch atomically (in one event, checkpointing only at
   // the end), so a recovering replica never resumes mid-batch.
   for (const ExecuteMsg& x : batch.items) process_execute(x);
+  if (cut_checkpoint_) {
+    // A migration op executed in this batch: certify the cut/adopt
+    // immediately so trailing or recovering replicas pick up the new map
+    // and range state through ordinary checkpoint transfer.
+    cut_checkpoint_ = false;
+    last_cp_ = sn_;
+    ++checkpoints_;
+    checkpointer_->gen_cp(sn_, snapshot_state());
+    return;
+  }
   maybe_checkpoint();
 }
 
@@ -184,8 +201,18 @@ void ExecutionReplica::process_execute(const ExecuteMsg& x) {
         break;
       }
       charge(kExecCost);
-      Bytes result = x.op_kind == OpKind::StrongRead ? app_->execute_readonly(x.op)
-                                                     : app_->execute(x.op);
+      // Ownership is decided at commit time — the op was ordered, but if a
+      // migration committed first this shard must redirect, not execute,
+      // so every replica attributes the key to the same owner.
+      Bytes result;
+      if (is_sys_op(x.op)) {
+        result = execute_sys_op(x.client, x.op);
+      } else if (!owns_keys(x.op)) {
+        result = make_wrong_shard_reply(*map_);
+      } else {
+        result = x.op_kind == OpKind::StrongRead ? app_->execute_readonly(x.op)
+                                                 : app_->execute(x.op);
+      }
       e.counter = x.counter;
       e.result = std::move(result);
       e.placeholder = false;
@@ -214,6 +241,74 @@ void ExecutionReplica::process_execute(const ExecuteMsg& x) {
     case ExecuteKind::Noop:
       break;
   }
+}
+
+bool ExecutionReplica::owns_keys(BytesView op) const {
+  if (!map_) return true;
+  for (const std::string& key : app_->op_keys(op)) {
+    if (map_->shard_of(key) != shard_index_) return false;
+  }
+  return true;
+}
+
+Bytes ExecutionReplica::execute_sys_op(NodeId client, BytesView op) {
+  if (client != cfg_.admin) return make_migrate_fail_reply();
+  try {
+    Reader r(op);
+    const std::uint8_t code = r.u8();
+    if (code == kSysOpMigrateOut) {
+      MigrateOutCmd cmd = MigrateOutCmd::decode(r);
+      r.expect_done();
+      return migrate_out(cmd);
+    }
+    if (code == kSysOpMigrateIn) {
+      MigrateInCmd cmd = MigrateInCmd::decode(r);
+      r.expect_done();
+      return migrate_in(cmd);
+    }
+  } catch (const SerdeError&) {
+  }
+  return make_migrate_fail_reply();
+}
+
+Bytes ExecutionReplica::migrate_out(const MigrateOutCmd& cmd) {
+  if (!map_ || cmd.delta.base_version != map_->version()) return make_migrate_fail_reply();
+  std::optional<ShardMap> next;
+  try {
+    next = map_->with_delta(cmd.delta);
+  } catch (const std::invalid_argument&) {
+    return make_migrate_fail_reply();
+  }
+  // Cut exactly the keys this shard owned under the old map but does not
+  // own under the new one. data_ iteration order is deterministic, so fe+1
+  // replicas produce byte-identical state and the reply quorum certifies it.
+  Bytes state = app_->extract_keys([&](std::string_view key) {
+    const std::uint64_t h = ShardMap::hash_key(key);
+    return map_->shard_of_hash(h) == shard_index_ && next->shard_of_hash(h) != shard_index_;
+  });
+  map_ = std::move(next);
+  cut_checkpoint_ = true;
+  ++migrations_;
+  return make_migrate_out_reply(map_->version(), state);
+}
+
+Bytes ExecutionReplica::migrate_in(const MigrateInCmd& cmd) {
+  if (!map_ || cmd.delta.base_version != map_->version()) return make_migrate_fail_reply();
+  std::optional<ShardMap> next;
+  try {
+    next = map_->with_delta(cmd.delta);
+  } catch (const std::invalid_argument&) {
+    return make_migrate_fail_reply();
+  }
+  try {
+    app_->absorb_keys(cmd.state);
+  } catch (const SerdeError&) {
+    return make_migrate_fail_reply();
+  }
+  map_ = std::move(next);
+  cut_checkpoint_ = true;
+  ++migrations_;
+  return make_migrate_in_reply(map_->version());
 }
 
 void ExecutionReplica::reply_to(NodeId client, std::uint64_t counter, BytesView result,
@@ -251,6 +346,13 @@ Bytes ExecutionReplica::snapshot_state() const {
     w.bytes(e.result);
   }
   w.bytes(app_->snapshot());
+  // Resharding deployments append the enforced map so adopted checkpoints
+  // carry ownership along with state. Absent map = absent section, which
+  // keeps the original byte format for every existing deployment.
+  if (map_) {
+    w.u32(shard_index_);
+    w.bytes(map_->encode());
+  }
   return std::move(w).take();
 }
 
@@ -267,6 +369,15 @@ void ExecutionReplica::apply_state(SeqNr s, BytesView state) {
     replies[client] = std::move(e);
   }
   app_->restore(r.bytes_view());
+  if (r.remaining() > 0) {
+    std::uint32_t shard_index = r.u32();
+    Bytes table = r.bytes();
+    Reader tr(table);
+    ShardMap map = ShardMap::decode(tr);
+    tr.expect_done();
+    shard_index_ = shard_index;
+    map_ = std::move(map);
+  }
   replies_ = std::move(replies);
   sn_ = s;
   ++catchups_;

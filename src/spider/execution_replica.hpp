@@ -9,10 +9,12 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "app/application.hpp"
 #include "irmc/irmc.hpp"
+#include "shard/migration.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/component.hpp"
 #include "spider/checkpointer.hpp"
@@ -37,6 +39,14 @@ struct ExecutionConfig {
   Position request_capacity = 2;        // per-client subchannel (Fig. 16, L. 6)
   Duration progress_interval = 50 * kMillisecond;
   Duration collector_timeout = 300 * kMillisecond;
+  // Sharded deployments with live resharding: the partition table this
+  // replica enforces and the shard index it answers for. Unset = no
+  // ownership checks (standalone / statically sharded deployments).
+  std::optional<ShardMap> shard_map;
+  std::uint32_t shard_index = 0;
+  // Only this client may order MigrateOut/MigrateIn system ops (the core's
+  // admin client); kInvalidNode rejects all of them.
+  NodeId admin = kInvalidNode;
 };
 
 class ExecutionReplica : public ComponentHost {
@@ -56,6 +66,8 @@ class ExecutionReplica : public ComponentHost {
   [[nodiscard]] const Application& app() const { return *app_; }
   [[nodiscard]] std::uint64_t checkpoints_taken() const { return checkpoints_; }
   [[nodiscard]] std::uint64_t catchups() const { return catchups_; }
+  [[nodiscard]] const std::optional<ShardMap>& shard_map() const { return map_; }
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
 
   /// Test hook: Byzantine replica that answers clients with corrupted
   /// results (must be outvoted by fe+1 correct replies).
@@ -76,6 +88,10 @@ class ExecutionReplica : public ComponentHost {
   void process_batch(const ExecuteBatchMsg& batch);
   void process_execute(const ExecuteMsg& x);
   void reply_to(NodeId client, std::uint64_t counter, BytesView result, bool weak);
+  bool owns_keys(BytesView op) const;
+  Bytes execute_sys_op(NodeId client, BytesView op);
+  Bytes migrate_out(const MigrateOutCmd& cmd);
+  Bytes migrate_in(const MigrateInCmd& cmd);
   void maybe_checkpoint();
   Bytes snapshot_state() const;
   void apply_state(SeqNr s, BytesView state);
@@ -100,6 +116,14 @@ class ExecutionReplica : public ComponentHost {
   bool waiting_checkpoint_ = false;
   std::uint64_t checkpoints_ = 0;
   std::uint64_t catchups_ = 0;
+  // Live-resharding state. map_ tracks the table this replica enforces;
+  // cut_checkpoint_ forces a checkpoint right after the batch that carried
+  // a migration op, so the range cut/adopt is immediately certified and
+  // recoverable through the normal checkpoint state-transfer path.
+  std::optional<ShardMap> map_;
+  std::uint32_t shard_index_ = 0;
+  bool cut_checkpoint_ = false;
+  std::uint64_t migrations_ = 0;
 };
 
 }  // namespace spider

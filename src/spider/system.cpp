@@ -148,6 +148,9 @@ ExecutionConfig SpiderSystem::exec_config(GroupId g, std::size_t i) const {
   cfg.ke = topo_.ke;
   cfg.commit_capacity = topo_.commit_capacity;
   cfg.request_capacity = topo_.request_capacity;
+  cfg.shard_map = topo_.shard_map;
+  cfg.shard_index = topo_.shard_index;
+  cfg.admin = admin_->id();
   return cfg;
 }
 

@@ -49,6 +49,13 @@ struct SpiderTopology {
   /// disjoint: they come from the shared World allocator).
   GroupId first_group_id = 1;
 
+  /// Live-resharding deployments: the partition table this core's execution
+  /// replicas enforce and the shard index they answer for. Unset = no
+  /// ownership checks (standalone cores and statically sharded deployments
+  /// behave exactly as before).
+  std::optional<ShardMap> shard_map;
+  std::uint32_t shard_index = 0;
+
   /// Application factory (defaults to the KV store used in the paper).
   std::function<std::unique_ptr<Application>()> make_app = [] {
     return std::make_unique<KvStore>();

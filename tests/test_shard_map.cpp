@@ -141,7 +141,163 @@ TEST(ShardMap, DecodeRejectsMalformedTable) {
   // count = 16) so the table no longer covers the hash space from 0.
   wire[16] = 1;
   Reader r(wire);
-  EXPECT_THROW(ShardMap::decode(r), std::invalid_argument);
+  // SerdeError, not invalid_argument: decode feeds on untrusted bytes
+  // (Byzantine WrongShard redirects carry maps), and the message-boundary
+  // catch blocks only swallow SerdeError. Anything else would escape and
+  // crash the client on a hostile reply.
+  EXPECT_THROW(ShardMap::decode(r), SerdeError);
+}
+
+TEST(ShardMap, DecodeRejectsOverlappingAndUnsortedTables) {
+  ShardMap m = ShardMap::uniform(3);
+  m.set_ranges({{0, 0}, {1000, 1}, {2000, 2}}, 2);
+  Bytes good = m.encode();
+
+  // Duplicate adjacent starts (zero-width range). Layout after the 16-byte
+  // header: count entries of [u64 start][u32 shard].
+  {
+    Bytes wire = good;
+    std::size_t second_start = 16 + 12;  // entry 1's start field
+    for (int i = 0; i < 8; ++i) wire[second_start + i] = 0;
+    Reader r(wire);
+    EXPECT_THROW(ShardMap::decode(r), SerdeError);
+  }
+  // Out-of-range owner shard.
+  {
+    Bytes wire = good;
+    wire[16 + 8] = 9;  // entry 0's shard field
+    Reader r(wire);
+    EXPECT_THROW(ShardMap::decode(r), SerdeError);
+  }
+  // Zero shard count.
+  {
+    Bytes wire = good;
+    for (int i = 0; i < 4; ++i) wire[8 + i] = 0;  // shards field after u64 version
+    Reader r(wire);
+    EXPECT_THROW(ShardMap::decode(r), SerdeError);
+  }
+  // Truncated table (count says more entries than bytes present).
+  {
+    Bytes wire = good;
+    wire.resize(wire.size() - 4);
+    Reader r(wire);
+    EXPECT_THROW(ShardMap::decode(r), SerdeError);
+  }
+  // The unmodified encoding still decodes, so the corruptions above are what
+  // the rejections reacted to.
+  Reader r(good);
+  ShardMap back = ShardMap::decode(r);
+  EXPECT_EQ(back.version(), 2u);
+}
+
+TEST(ShardMapDelta, CodecRoundTripAndValidation) {
+  ShardMapDelta d{/*base_version=*/3, /*new_version=*/4, /*lo=*/1000, /*hi=*/2000,
+                  /*to_shard=*/1};
+  Writer w;
+  d.encode_into(w);
+  Bytes wire = std::move(w).take();
+  Reader r(wire);
+  ShardMapDelta back = ShardMapDelta::decode(r);
+  r.expect_done();
+  EXPECT_EQ(back.base_version, 3u);
+  EXPECT_EQ(back.new_version, 4u);
+  EXPECT_EQ(back.lo, 1000u);
+  EXPECT_EQ(back.hi, 2000u);
+  EXPECT_EQ(back.to_shard, 1u);
+
+  // Non-monotonic version bump.
+  {
+    Writer bad;
+    ShardMapDelta{4, 4, 0, 10, 0}.encode_into(bad);
+    Bytes b = std::move(bad).take();
+    Reader br(b);
+    EXPECT_THROW(ShardMapDelta::decode(br), SerdeError);
+  }
+  // Inverted range (hi != 0 means exclusive upper bound; lo must be below).
+  {
+    Writer bad;
+    ShardMapDelta{1, 2, 50, 10, 0}.encode_into(bad);
+    Bytes b = std::move(bad).take();
+    Reader br(b);
+    EXPECT_THROW(ShardMapDelta::decode(br), SerdeError);
+  }
+}
+
+TEST(ShardMap, WithDeltaSplicesRange) {
+  // 4 uniform shards; move the middle half of shard 1's range to shard 3.
+  ShardMap m = ShardMap::uniform(4);
+  std::uint64_t s1 = m.ranges()[1].start;
+  std::uint64_t s2 = m.ranges()[2].start;
+  std::uint64_t width = s2 - s1;
+  std::uint64_t lo = s1 + width / 4;
+  std::uint64_t hi = s1 + 3 * (width / 4);
+
+  ShardMap next = m.with_delta(ShardMapDelta{m.version(), m.version() + 1, lo, hi, 3});
+  EXPECT_EQ(next.version(), m.version() + 1);
+  EXPECT_EQ(next.shard_count(), 4u);
+  EXPECT_EQ(next.shard_of_hash(s1), 1u);       // head of the old range stays
+  EXPECT_EQ(next.shard_of_hash(lo), 3u);       // moved slice
+  EXPECT_EQ(next.shard_of_hash(hi - 1), 3u);
+  EXPECT_EQ(next.shard_of_hash(hi), 1u);       // tail of the old range stays
+  EXPECT_EQ(next.shard_of_hash(s2), 2u);       // neighbors untouched
+  // The source map is unchanged (with_delta is const).
+  EXPECT_EQ(m.shard_of_hash(lo), 1u);
+}
+
+TEST(ShardMap, WithDeltaMergesAdjacentSameOwnerRanges) {
+  // Moving a whole existing range to its left neighbor's owner must merge
+  // ranges instead of leaving a redundant boundary.
+  ShardMap m = ShardMap::uniform(4);
+  std::uint64_t s1 = m.ranges()[1].start;
+  std::uint64_t s2 = m.ranges()[2].start;
+  ShardMap next = m.with_delta(ShardMapDelta{m.version(), m.version() + 1, s1, s2, 0});
+  EXPECT_EQ(next.shard_of_hash(s1), 0u);
+  EXPECT_EQ(next.shard_of_hash(s2 - 1), 0u);
+  EXPECT_EQ(next.shard_of_hash(s2), 2u);
+  ASSERT_EQ(next.ranges().size(), 3u);  // [0 -> shard0], [s2 -> 2], [s3 -> 3]
+  EXPECT_EQ(next.ranges()[0].start, 0u);
+  EXPECT_EQ(next.ranges()[1].start, s2);
+}
+
+TEST(ShardMap, WithDeltaHiZeroMeansTopOfHashSpace) {
+  ShardMap m = ShardMap::uniform(2);
+  std::uint64_t split = m.ranges()[1].start;
+  // Move everything from the split upwards (hi == 0 == top) to shard 0.
+  ShardMap next = m.with_delta(ShardMapDelta{m.version(), m.version() + 1, split, 0, 0});
+  EXPECT_EQ(next.shard_of_hash(split), 0u);
+  EXPECT_EQ(next.shard_of_hash(~std::uint64_t{0}), 0u);
+  ASSERT_EQ(next.ranges().size(), 1u);  // collapsed to one full-ring range
+}
+
+TEST(ShardMap, WithDeltaRejectsStaleBaseAndUnknownShard) {
+  ShardMap m = ShardMap::uniform(2);
+  std::uint64_t split = m.ranges()[1].start;
+  // base_version must match the map being advanced.
+  EXPECT_THROW(m.with_delta(ShardMapDelta{m.version() + 1, m.version() + 2, 0, split, 1}),
+               std::invalid_argument);
+  // new_version must move forward.
+  EXPECT_THROW(m.with_delta(ShardMapDelta{m.version(), m.version(), 0, split, 1}),
+               std::invalid_argument);
+  // Target shard must exist in the deployment.
+  EXPECT_THROW(m.with_delta(ShardMapDelta{m.version(), m.version() + 1, 0, split, 7}),
+               std::invalid_argument);
+}
+
+TEST(ShardMap, SoleOwnerOf) {
+  ShardMap m = ShardMap::uniform(4);
+  std::uint64_t s1 = m.ranges()[1].start;
+  std::uint64_t s2 = m.ranges()[2].start;
+  std::uint32_t owner = 99;
+  EXPECT_TRUE(m.sole_owner_of(s1, s2, &owner));
+  EXPECT_EQ(owner, 1u);
+  EXPECT_TRUE(m.sole_owner_of(s1 + 1, s2 - 1, &owner));
+  EXPECT_EQ(owner, 1u);
+  // Straddles the s2 boundary: two owners.
+  EXPECT_FALSE(m.sole_owner_of(s1, s2 + 1, &owner));
+  // hi == 0 (top): only the last shard's range qualifies.
+  EXPECT_TRUE(m.sole_owner_of(m.ranges()[3].start, 0, &owner));
+  EXPECT_EQ(owner, 3u);
+  EXPECT_FALSE(m.sole_owner_of(s1, 0, &owner));
 }
 
 }  // namespace
