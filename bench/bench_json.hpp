@@ -1,6 +1,6 @@
 // Machine-readable bench results: the repo's perf trajectory.
 //
-// Every bench binary appends entries to BENCH_pr5.json (JSON lines, one
+// Every bench binary appends entries to BENCH_pr7.json (JSON lines, one
 // object per line):
 //   {"bench": "...", "metric": "...", "value": 1.23, "unit": "...", "seed": 0}
 // Future PRs regress against these files; CI uploads them as artifacts.
@@ -19,7 +19,7 @@ inline void bench_json(const std::string& bench, const std::string& metric, doub
   const char* enabled = std::getenv("BENCH_JSON");
   if (enabled && std::string(enabled) == "0") return;
   const char* path = std::getenv("BENCH_JSON_PATH");
-  std::FILE* f = std::fopen(path ? path : "BENCH_pr5.json", "a");
+  std::FILE* f = std::fopen(path ? path : "BENCH_pr7.json", "a");
   if (!f) return;
   std::fprintf(f,
                "{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "

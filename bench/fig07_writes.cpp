@@ -6,9 +6,12 @@
 // leader (site) location; Spider is uniformly low for Virginia clients and
 // bounded by one WAN round trip for remote clients, regardless of which
 // availability zone hosts the agreement leader.
+#include <cstdlib>
+
 #include "baselines/bft_system.hpp"
 #include "baselines/hft_system.hpp"
 #include "harness.hpp"
+#include "obs/trace_export.hpp"
 #include "spider/system.hpp"
 
 namespace spider::bench {
@@ -64,14 +67,29 @@ void bench_hft() {
 }
 
 void bench_spider() {
+  // SPIDER_TRACE=<path> flight-records the first Spider configuration and
+  // exports a Chrome/Perfetto trace of the whole run to <path>. Tracing is
+  // out-of-band: the traced run's latencies are identical to an untraced
+  // replay of the same seed.
+  const char* trace_path = std::getenv("SPIDER_TRACE");
   for (std::uint32_t rot : {0u, 1u, 3u, 5u}) {  // leader in V-1, V-2, V-4, V-6
     World world(300 + rot);
     json_bench_seed = 300 + rot;
+    const bool traced = trace_path && rot == 0;
+    if (traced) world.enable_tracing(obs::Tracer::Mode::kFull);
     SpiderTopology topo;
     topo.agreement_az_rotation = rot;
     SpiderSystem sys(world, topo);
     auto stats = run_write_load(world, [&](Site s) { return sys.make_client(s); });
     print_region_row("SPIDER leader=V-" + std::to_string(rot + 1), stats);
+    if (traced) {
+      if (obs::write_chrome_trace(*world.tracer(), trace_path)) {
+        std::printf("  [trace] %zu events -> %s (open in ui.perfetto.dev)\n",
+                    world.tracer()->size(), trace_path);
+      } else {
+        std::printf("  [trace] FAILED to write %s\n", trace_path);
+      }
+    }
   }
 }
 

@@ -122,6 +122,8 @@ inline void print_region_row(const std::string& label, const std::map<Region, La
       std::string key = label + " " + region_code(region);
       bench_json(json_bench_name, key + " p50", to_ms(s.median()), "ms", json_bench_seed);
       bench_json(json_bench_name, key + " p90", to_ms(s.p90()), "ms", json_bench_seed);
+      bench_json(json_bench_name, key + " p99", to_ms(s.p99()), "ms", json_bench_seed);
+      bench_json(json_bench_name, key + " p999", to_ms(s.p999()), "ms", json_bench_seed);
     }
   }
   std::printf("\n");

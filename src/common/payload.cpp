@@ -6,7 +6,10 @@ namespace spider {
 
 namespace {
 constexpr std::size_t kMemoCap = 16;  // bounds per-buffer memo memory
+std::uint64_t g_digest_computations = 0;
 }
+
+std::uint64_t payload_digest_computations_total() { return g_digest_computations; }
 
 Payload Payload::slice(std::size_t off, std::size_t len) const {
   if (off > len_ || len > len_ - off) {
@@ -33,6 +36,7 @@ Sha256Digest Payload::digest_window(std::size_t off, std::size_t len) const {
     if (e.off == off && e.len == len) return e.digest;
   }
   ++buf_->computations;
+  ++g_digest_computations;
   Sha256Digest d = Sha256::hash(BytesView(buf_->data).subspan(off, len));
   if (buf_->memo.size() == kMemoCap) buf_->memo.pop_back();
   buf_->memo.insert(buf_->memo.begin(), MemoEntry{off, len, d});

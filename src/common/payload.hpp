@@ -27,6 +27,13 @@
 
 namespace spider {
 
+/// Process-wide count of actual SHA-256 computations performed by Payload
+/// digest memoization (the sum of every buffer's digest_computations(),
+/// including buffers already freed). Exported to the metrics registry via
+/// World::refresh_platform_metrics(); the per-buffer counter below stays
+/// the fine-grained test hook.
+std::uint64_t payload_digest_computations_total();
+
 class Payload {
  public:
   /// Empty payload (no buffer).

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+#include "sim/world.hpp"
+
 namespace spider {
 
 using pbft::MsgType;
@@ -12,13 +15,21 @@ constexpr std::size_t kKnownCap = 200'000;  // bounded dedup memory
 
 PbftReplica::PbftReplica(ComponentHost& host, PbftConfig config, DeliverFn deliver,
                          std::uint32_t tag)
-    : Component(host, tag), cfg_(std::move(config)), deliver_(std::move(deliver)) {
+    : Component(host, tag),
+      cfg_(std::move(config)),
+      deliver_(std::move(deliver)),
+      views_adopted_(host.world().metrics().counter(
+          "pbft_views_adopted", {.node = host.id(), .role = "consensus"})) {
   vc_timeout_cur_ = cfg_.view_change_timeout;
 }
 
 PbftReplica::PbftReplica(ComponentHost& host, PbftConfig config, BatchDeliverFn deliver,
                          std::uint32_t tag)
-    : Component(host, tag), cfg_(std::move(config)), deliver_batch_(std::move(deliver)) {
+    : Component(host, tag),
+      cfg_(std::move(config)),
+      deliver_batch_(std::move(deliver)),
+      views_adopted_(host.world().metrics().counter(
+          "pbft_views_adopted", {.node = host.id(), .role = "consensus"})) {
   vc_timeout_cur_ = cfg_.view_change_timeout;
 }
 
@@ -219,6 +230,10 @@ void PbftReplica::propose(std::vector<Bytes> batch) {
   e.prepares.insert(cfg_.my_index);  // pre-prepare counts as primary's prepare
   ++batches_proposed_;
   requests_proposed_ += e.requests.size();
+  if (auto* t = host().tracer()) {
+    t->instant(host().now(), host().id(), "consensus", "propose", "seq", s,
+               "batch", e.requests.size());
+  }
 
   pbft::PrePrepareMsg m{view_, s, e.requests};
   if (equivocate && cfg_.n() >= 3) {
@@ -277,7 +292,10 @@ void PbftReplica::adopt_view(ViewNr v) {
   // every uncommitted entry — the live quorum's traffic (or the next
   // checkpoint) re-establishes them — and requeue their requests.
   view_ = v;
-  ++views_adopted_;
+  views_adopted_.inc();
+  if (auto* t = host().tracer()) {
+    t->instant(host().now(), host().id(), "consensus", "adopt-view", "view", v);
+  }
   vc_active_ = false;
   if (vc_timer_ != EventQueue::kInvalidEvent) {
     cancel_timer(vc_timer_);
@@ -372,10 +390,16 @@ void PbftReplica::maybe_send_commit(SeqNr s, Entry& e) {
   if (weight(e.prepares) < cfg_.quorum()) return;
   e.commit_sent = true;
   e.commits.insert(cfg_.my_index);
+  if (auto* t = host().tracer()) {
+    t->instant(host().now(), host().id(), "consensus", "prepared", "seq", s);
+  }
   pbft::CommitMsg c{view_, s, e.digest, cfg_.my_index};
   broadcast(c.encode(true), /*sign=*/false);
   if (e.has_preprepare && weight(e.commits) >= cfg_.quorum()) {
     e.committed = true;
+    if (auto* t = host().tracer()) {
+      t->instant(host().now(), host().id(), "consensus", "committed", "seq", s);
+    }
     try_deliver();
   }
 }
@@ -389,6 +413,9 @@ void PbftReplica::handle_commit(std::uint32_t from_idx, pbft::CommitMsg m) {
   if (e.has_preprepare && !e.committed && weight(e.prepares) >= cfg_.quorum() &&
       weight(e.commits) >= cfg_.quorum()) {
     e.committed = true;
+    if (auto* t = host().tracer()) {
+      t->instant(host().now(), host().id(), "consensus", "committed", "seq", m.seq);
+    }
     try_deliver();
   }
 }
@@ -434,6 +461,10 @@ void PbftReplica::try_deliver() {
     // Copy: callbacks may mutate the log via gc().
     std::vector<Bytes> requests = e.requests;
     last_delivered_ = start + e.covers() - 1;
+    if (auto* t = host().tracer()) {
+      t->instant(host().now(), host().id(), "consensus", "deliver", "seq", want,
+                 "batch", requests.size());
+    }
     deliver_requests(start, want, requests);
   }
 }
@@ -476,6 +507,10 @@ void PbftReplica::start_view_change(ViewNr target) {
   vc_active_ = true;
   vc_target_ = target;
   ++vc_started_;
+  if (auto* t = host().tracer()) {
+    t->instant(host().now(), host().id(), "consensus", "view-change", "target",
+               target);
+  }
 
   // Suspend request timers; the view-change timer now guards liveness.
   for (auto& [key, timer] : request_timers_) cancel_timer(timer);
@@ -609,6 +644,9 @@ void PbftReplica::handle_newview(std::uint32_t from_idx, pbft::NewViewMsg m) {
 
 void PbftReplica::enter_view(ViewNr v, SeqNr floor_hint, const std::vector<pbft::PreparedProof>& proposals) {
   view_ = v;
+  if (auto* t = host().tracer()) {
+    t->instant(host().now(), host().id(), "consensus", "new-view", "view", v);
+  }
   vc_active_ = false;
   if (vc_timer_ != EventQueue::kInvalidEvent) {
     cancel_timer(vc_timer_);

@@ -29,6 +29,7 @@
 
 #include "consensus/agreement.hpp"
 #include "consensus/pbft_messages.hpp"
+#include "obs/metrics.hpp"
 #include "sim/component.hpp"
 
 namespace spider {
@@ -92,7 +93,9 @@ class PbftReplica : public Component, public Agreement {
   [[nodiscard]] SeqNr floor() const { return floor_; }
   [[nodiscard]] std::size_t pending_count() const { return pending_reqs_.size(); }
   [[nodiscard]] std::uint64_t view_changes_started() const { return vc_started_; }
-  [[nodiscard]] std::uint64_t views_adopted() const { return views_adopted_; }
+  /// Thin read of the registry counter `pbft_views_adopted{node, role=
+  /// "consensus"}`; survives crash/restart of the same NodeId (monotone).
+  [[nodiscard]] std::uint64_t views_adopted() const { return views_adopted_.value(); }
   [[nodiscard]] std::uint64_t batches_proposed() const { return batches_proposed_; }
   [[nodiscard]] std::uint64_t requests_proposed() const { return requests_proposed_; }
 
@@ -185,7 +188,7 @@ class PbftReplica : public Component, public Agreement {
   EventQueue::EventId vc_timer_ = EventQueue::kInvalidEvent;
   Duration vc_timeout_cur_ = 0;
   std::uint64_t vc_started_ = 0;
-  std::uint64_t views_adopted_ = 0;
+  obs::Counter& views_adopted_;
   std::map<std::uint32_t, ViewNr> view_hints_;  // member -> highest view seen
 
   SeqNr floor_ = 0;           // everything <= floor_ is garbage-collected

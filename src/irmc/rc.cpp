@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+#include "sim/world.hpp"
+
 namespace spider {
 
 using irmc::MsgType;
@@ -58,6 +61,9 @@ std::optional<std::uint32_t> RcSender::receiver_index(NodeId node) const {
 }
 
 void RcSender::transmit(Subchannel sc, Position p, const Bytes& m) {
+  if (auto* t = host().tracer()) {
+    t->instant(host().now(), host().id(), "irmc", "rc-send", "sc", sc, "pos", p);
+  }
   irmc::SendMsg msg{sc, p, m};
   Bytes body = msg.encode();
   // One signature, shared by all receivers (paper A.8).
@@ -315,6 +321,10 @@ void RcReceiver::try_deliver(Subchannel sc, Position p) {
   for (auto& [digest, cand] : slot_it->second.candidates) {
     if (cand.second.size() >= cfg_.fs + 1) {
       ready_[sc][p] = cand.first;
+      if (auto* t = host().tracer()) {
+        t->instant(host().now(), host().id(), "irmc", "rc-deliver", "sc", sc,
+                   "pos", p);
+      }
       auto pit = pending_.find(sc);
       if (pit != pending_.end()) {
         auto cb_it = pit->second.find(p);

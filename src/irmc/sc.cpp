@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "irmc/rc.hpp"
+#include "obs/trace.hpp"
+#include "sim/world.hpp"
 
 namespace spider {
 
@@ -85,6 +87,9 @@ void ScSender::send(Subchannel sc, Position p, Bytes m, SendCallback done) {
 }
 
 void ScSender::start_transmit(Subchannel sc, Position p, Bytes m) {
+  if (auto* t = host().tracer()) {
+    t->instant(host().now(), host().id(), "irmc", "sc-send", "sc", sc, "pos", p);
+  }
   Payload payload(std::move(m));
   host().charge_hash(payload.size());
   irmc::SigShareMsg share{sc, p, payload.digest()};
@@ -365,6 +370,9 @@ void ScReceiver::deliver_ready(Subchannel sc, Position p) {
   if (pit == pending_.end()) return;
   auto cb_it = pit->second.find(p);
   if (cb_it == pit->second.end()) return;
+  if (auto* t = host().tracer()) {
+    t->instant(host().now(), host().id(), "irmc", "sc-deliver", "sc", sc, "pos", p);
+  }
   std::vector<ReceiveCallback> cbs = std::move(cb_it->second);
   pit->second.erase(cb_it);
   const Payload& msg = ready_[sc][p];

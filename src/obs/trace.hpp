@@ -1,0 +1,156 @@
+// Out-of-band request-lifecycle tracing.
+//
+// The tracer is a passive event sink: instrumentation sites do
+//
+//   if (auto* t = tracer()) t->instant(now, node, "irmc", "send", ...);
+//
+// so with no tracer attached (the default — the "null sink") the hook is a
+// single predictable branch on a raw pointer, allocates nothing, consumes
+// no RNG, and never touches wire bytes or scheduling. A seed replay with
+// the tracer attached therefore produces a byte-identical trace, and a
+// replay without it produces byte-identical protocol behavior.
+//
+// Events are POD: timestamps are simulated microseconds, names/categories
+// must be string literals (static storage duration), and correlation uses
+// a 64-bit request id derived from (client, counter).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace spider::obs {
+
+/// Chrome trace-event phases we emit (subset of the spec).
+enum class Ph : std::uint8_t {
+  kInstant,        // "i" — point event on a node track
+  kAsyncBegin,     // "b" — start of an id-correlated flow (request lifetime)
+  kAsyncInstant,   // "n" — milestone within an id-correlated flow
+  kAsyncEnd,       // "e" — end of an id-correlated flow
+  kComplete,       // "X" — duration slice (modeled-CPU task execution)
+};
+
+/// One trace record. POD on purpose: recording is a bounds check + struct
+/// copy, with no allocation in ring mode.
+struct TraceEvent {
+  Time ts = 0;             // simulated microseconds
+  Duration dur = 0;        // kComplete only
+  std::uint64_t id = 0;    // async correlation id (request id); 0 = none
+  std::uint64_t v0 = 0;    // arg values (emitted when k0/k1 non-null)
+  std::uint64_t v1 = 0;
+  const char* cat = "";    // category (static string)
+  const char* name = "";   // event name (static string)
+  const char* k0 = nullptr;  // arg keys (static strings)
+  const char* k1 = nullptr;
+  NodeId node = 0;         // track: pid = node
+  Ph ph = Ph::kInstant;
+};
+
+/// Correlation id for a client request: the (client node, request counter)
+/// pair packed into 64 bits. `weak` requests (direct/weak reads) use an
+/// independent counter stream on the client, so they get bit 63 to keep the
+/// two streams from colliding.
+constexpr std::uint64_t request_id(NodeId client, std::uint64_t counter,
+                                   bool weak = false) {
+  return ((static_cast<std::uint64_t>(client) << 32) ^ (counter & 0xFFFFFFFFull)) |
+         (weak ? (1ull << 63) : 0ull);
+}
+
+class Tracer {
+ public:
+  enum class Mode {
+    kFull,  // keep every event (bounded runs, exports)
+    kRing,  // flight recorder: fixed capacity, oldest overwritten
+  };
+
+  explicit Tracer(Mode mode = Mode::kFull, std::size_t ring_capacity = 1 << 16)
+      : mode_(mode), cap_(ring_capacity == 0 ? 1 : ring_capacity) {
+    if (mode_ == Mode::kRing) events_.reserve(cap_);
+  }
+
+  void record(const TraceEvent& ev) {
+    if (mode_ == Mode::kRing && events_.size() == cap_) {
+      events_[head_] = ev;            // overwrite oldest — no allocation
+      head_ = (head_ + 1) % cap_;
+      ++dropped_;
+    } else {
+      events_.push_back(ev);
+    }
+  }
+
+  void instant(Time ts, NodeId node, const char* cat, const char* name,
+               const char* k0 = nullptr, std::uint64_t v0 = 0,
+               const char* k1 = nullptr, std::uint64_t v1 = 0) {
+    TraceEvent ev;
+    ev.ts = ts; ev.node = node; ev.cat = cat; ev.name = name;
+    ev.k0 = k0; ev.v0 = v0; ev.k1 = k1; ev.v1 = v1;
+    ev.ph = Ph::kInstant;
+    record(ev);
+  }
+
+  void async(Ph ph, Time ts, NodeId node, std::uint64_t id, const char* cat,
+             const char* name, const char* k0 = nullptr, std::uint64_t v0 = 0,
+             const char* k1 = nullptr, std::uint64_t v1 = 0) {
+    TraceEvent ev;
+    ev.ts = ts; ev.node = node; ev.id = id; ev.cat = cat; ev.name = name;
+    ev.k0 = k0; ev.v0 = v0; ev.k1 = k1; ev.v1 = v1;
+    ev.ph = ph;
+    record(ev);
+  }
+
+  void complete(Time ts, Duration dur, NodeId node, const char* cat,
+                const char* name, const char* k0 = nullptr, std::uint64_t v0 = 0,
+                const char* k1 = nullptr, std::uint64_t v1 = 0) {
+    TraceEvent ev;
+    ev.ts = ts; ev.dur = dur; ev.node = node; ev.cat = cat; ev.name = name;
+    ev.k0 = k0; ev.v0 = v0; ev.k1 = k1; ev.v1 = v1;
+    ev.ph = Ph::kComplete;
+    record(ev);
+  }
+
+  /// Human-readable label for a node's track in the exported trace.
+  void name_process(NodeId node, std::string name) {
+    process_names_[node] = std::move(name);
+  }
+
+  /// Events in recording order (ring mode: oldest surviving first).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    if (mode_ != Mode::kRing || events_.size() < cap_ || head_ == 0)
+      return events_;
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    out.insert(out.end(), events_.begin() + static_cast<std::ptrdiff_t>(head_),
+               events_.end());
+    out.insert(out.end(), events_.begin(),
+               events_.begin() + static_cast<std::ptrdiff_t>(head_));
+    return out;
+  }
+
+  [[nodiscard]] const std::map<NodeId, std::string>& process_names() const {
+    return process_names_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+  void clear() {
+    events_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  Mode mode_;
+  std::size_t cap_;
+  std::vector<TraceEvent> events_;
+  std::size_t head_ = 0;       // ring mode: index of the oldest event
+  std::uint64_t dropped_ = 0;  // ring mode: events overwritten
+  std::map<NodeId, std::string> process_names_;
+};
+
+}  // namespace spider::obs

@@ -1,0 +1,114 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace spider::obs {
+
+namespace {
+
+const char* phase_str(Ph ph) {
+  switch (ph) {
+    case Ph::kInstant: return "i";
+    case Ph::kAsyncBegin: return "b";
+    case Ph::kAsyncInstant: return "n";
+    case Ph::kAsyncEnd: return "e";
+    case Ph::kComplete: return "X";
+  }
+  return "i";
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer, Time from, Time to) {
+  std::string out;
+  out.reserve(tracer.size() * 96 + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  char buf[192];
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  // Process-name metadata first (sorted by node — process_names is a map).
+  for (const auto& [node, name] : tracer.process_names()) {
+    comma();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%u,\"tid\":0,\"name\":\"process_name\","
+                  "\"args\":{\"name\":\"",
+                  node);
+    out += buf;
+    append_escaped(out, name.c_str());
+    out += "\"}}";
+  }
+  for (const TraceEvent& ev : tracer.snapshot()) {
+    if (ev.ts < from || ev.ts > to) continue;
+    comma();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"%s\",\"pid\":%u,\"tid\":0,\"ts\":%lld,\"cat\":\"",
+                  phase_str(ev.ph), ev.node, static_cast<long long>(ev.ts));
+    out += buf;
+    append_escaped(out, ev.cat);
+    out += "\",\"name\":\"";
+    append_escaped(out, ev.name);
+    out += '"';
+    if (ev.ph == Ph::kComplete) {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%lld",
+                    static_cast<long long>(ev.dur));
+      out += buf;
+    }
+    if (ev.ph == Ph::kAsyncBegin || ev.ph == Ph::kAsyncInstant ||
+        ev.ph == Ph::kAsyncEnd) {
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                    static_cast<unsigned long long>(ev.id));
+      out += buf;
+    }
+    if (ev.ph == Ph::kInstant) out += ",\"s\":\"t\"";  // thread-scoped instant
+    if (ev.k0 || ev.k1) {
+      out += ",\"args\":{";
+      bool farg = true;
+      if (ev.k0) {
+        out += '"';
+        append_escaped(out, ev.k0);
+        std::snprintf(buf, sizeof(buf), "\":%llu",
+                      static_cast<unsigned long long>(ev.v0));
+        out += buf;
+        farg = false;
+      }
+      if (ev.k1) {
+        if (!farg) out += ',';
+        out += '"';
+        append_escaped(out, ev.k1);
+        std::snprintf(buf, sizeof(buf), "\":%llu",
+                      static_cast<unsigned long long>(ev.v1));
+        out += buf;
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path, Time from,
+                        Time to) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << chrome_trace_json(tracer, from, to);
+  return static_cast<bool>(f);
+}
+
+}  // namespace spider::obs

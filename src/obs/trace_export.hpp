@@ -1,0 +1,27 @@
+// Chrome trace-event / Perfetto JSON exporter for obs::Tracer.
+//
+// The output is the "JSON Array Format" understood by chrome://tracing and
+// https://ui.perfetto.dev: an object with a "traceEvents" array, one track
+// (pid) per simulated node, async events correlated by hex id. Output is a
+// pure function of the recorded events — byte-identical across seed
+// replays.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "common/time.hpp"
+#include "obs/trace.hpp"
+
+namespace spider::obs {
+
+/// Serializes events with ts in [from, to] (simulated µs). Defaults export
+/// everything; a flight-recorder dump passes from = now - window.
+std::string chrome_trace_json(const Tracer& tracer, Time from = 0,
+                              Time to = std::numeric_limits<Time>::max());
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path,
+                        Time from = 0,
+                        Time to = std::numeric_limits<Time>::max());
+
+}  // namespace spider::obs

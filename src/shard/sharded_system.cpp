@@ -27,6 +27,10 @@ ShardedSpiderSystem::ShardedSpiderSystem(World& world, ShardedTopology topology)
     : world_(world),
       topo_(checked(std::move(topology))),
       map_(ShardMap::uniform(topo_.shards)) {
+  migrations_ = &world_.metrics().counter("shard_migrations_completed",
+                                          {.role = "sharded-system"});
+  last_pause_ = &world_.metrics().gauge("shard_migration_pause_us",
+                                        {.role = "sharded-system"});
   for (std::uint32_t s = 0; s < topo_.shards; ++s) {
     SpiderTopology core_topo = topo_.base;
     core_topo.first_group_id = 1 + static_cast<GroupId>(s) * topo_.group_id_stride;
@@ -36,6 +40,14 @@ ShardedSpiderSystem::ShardedSpiderSystem(World& world, ShardedTopology topology)
     }
     cores_.push_back(std::make_unique<SpiderSystem>(world_, std::move(core_topo)));
   }
+}
+
+std::uint64_t ShardedSpiderSystem::migrations_completed() const {
+  return migrations_->value();
+}
+
+Duration ShardedSpiderSystem::last_migration_pause() const {
+  return static_cast<Duration>(last_pause_->value());
 }
 
 std::unique_ptr<ShardedClient> ShardedSpiderSystem::make_client(Site site) {
@@ -123,8 +135,13 @@ void ShardedSpiderSystem::migrate_range(std::uint64_t lo, std::uint64_t hi,
                 return;
               }
               map_ = map_.with_delta(delta);
-              last_pause_ = world_.now() - cut_at;
-              ++migrations_;
+              last_pause_->set(world_.now() - cut_at);
+              migrations_->inc();
+              if (auto* t = world_.tracer()) {
+                t->instant(world_.now(), 0, "shard", "migration-complete",
+                           "to_shard", delta.to_shard, "pause_us",
+                           static_cast<std::uint64_t>(world_.now() - cut_at));
+              }
               if (done) done(true);
             });
       });

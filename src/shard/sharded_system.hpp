@@ -15,6 +15,7 @@
 // across cores and diagnostics stay unambiguous.
 #pragma once
 
+#include "obs/metrics.hpp"
 #include "shard/shard_map.hpp"
 #include "shard/sharded_client.hpp"
 #include "spider/system.hpp"
@@ -94,11 +95,13 @@ class ShardedSpiderSystem {
   void migrate_key_range(const std::string& key, std::uint32_t to_shard,
                          std::function<void(bool ok)> done = {});
   [[nodiscard]] bool migration_in_flight() const { return migrating_; }
-  [[nodiscard]] std::uint64_t migrations_completed() const { return migrations_; }
+  /// Thin read of the registry counter `shard_migrations_completed`.
+  [[nodiscard]] std::uint64_t migrations_completed() const;
   /// Sim-time gap between MigrateOut completing (range cut) and MigrateIn
   /// completing (range served again) for the most recent migration — the
-  /// unavailability window the micro_reshard bench reports.
-  [[nodiscard]] Duration last_migration_pause() const { return last_pause_; }
+  /// unavailability window the micro_reshard bench reports. Thin read of
+  /// the registry gauge `shard_migration_pause_us`.
+  [[nodiscard]] Duration last_migration_pause() const;
 
   [[nodiscard]] World& world() { return world_; }
   [[nodiscard]] const ShardedTopology& topology() const { return topo_; }
@@ -111,8 +114,9 @@ class ShardedSpiderSystem {
   ShardMap map_;
   std::vector<std::unique_ptr<SpiderSystem>> cores_;
   bool migrating_ = false;
-  std::uint64_t migrations_ = 0;
-  Duration last_pause_ = 0;
+  // Registry-backed migration stats (cached pointers into world_.metrics()).
+  obs::Counter* migrations_ = nullptr;
+  obs::Gauge* last_pause_ = nullptr;
 };
 
 }  // namespace spider

@@ -52,6 +52,7 @@ EventQueue::EventId EventQueue::schedule_at(Time at, Fn fn) {
   heap_.push_back(Entry{at, id, std::move(fn)});
   sift_up(heap_.size() - 1);
   pending_.insert(id);
+  ++scheduled_;
   return id;
 }
 
@@ -59,6 +60,7 @@ void EventQueue::cancel(EventId id) {
   // Ids are generations: one that already fired (or was never issued) is
   // absent from pending_, so a stale cancel can never kill a later event.
   if (pending_.erase(id) == 0) return;
+  ++cancelled_;
   maybe_compact();
 }
 
@@ -87,6 +89,7 @@ bool EventQueue::run_next() {
   Fn fn = std::move(heap_.front().fn);
   pop_root();
   pending_.erase(id);
+  ++fired_;
   fn();
   return true;
 }

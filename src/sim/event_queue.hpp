@@ -49,6 +49,13 @@ class EventQueue {
   /// invariant keeps this below 2x pending() + a small constant.
   [[nodiscard]] std::size_t heap_slots() const { return heap_.size(); }
 
+  // Lifetime scheduler counters (plain u64 increments on paths that already
+  // touch pending_, so the hot-loop cost is noise; exported via
+  // World::refresh_platform_metrics()).
+  [[nodiscard]] std::uint64_t scheduled_total() const { return scheduled_; }
+  [[nodiscard]] std::uint64_t fired_total() const { return fired_; }
+  [[nodiscard]] std::uint64_t cancelled_total() const { return cancelled_; }
+
   /// Runs the earliest event; returns false if none pending.
   bool run_next();
   /// Runs all events with time <= t, then sets now() = t.
@@ -75,6 +82,9 @@ class EventQueue {
 
   Time now_ = 0;
   EventId next_id_ = 1;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::vector<Entry> heap_;
   std::unordered_set<EventId> pending_;  // live (scheduled, not yet fired/cancelled)
 };

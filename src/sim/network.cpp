@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "sim/node.hpp"
 
 namespace spider {
@@ -84,6 +85,11 @@ void SimNetwork::send(NodeId from, NodeId to, Payload payload) {
               std::min(node_bandwidth_factor(from), node_bandwidth_factor(to));
   Duration transmit = static_cast<Duration>(static_cast<double>(size) / bw);
   Time arrival = queue_.now() + fixed_overhead + base + jitter + transmit + fault.extra_delay;
+
+  if (tracer_) {
+    tracer_->instant(queue_.now(), from, wan ? "net-wan" : "net-lan", "send",
+                     "to", to, "bytes", size);
+  }
 
   // Per-pair FIFO: never deliver earlier than a previously sent message.
   Time& clearance = pair_clearance_[pair_key(from, to)];

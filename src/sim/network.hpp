@@ -17,6 +17,9 @@
 namespace spider {
 
 class SimNode;
+namespace obs {
+class Tracer;
+}
 
 struct LinkStats {
   std::uint64_t wan_bytes = 0;
@@ -89,6 +92,12 @@ class SimNetwork {
   /// flight do not care whether their sender lives).
   [[nodiscard]] std::uint64_t incarnation(NodeId id) const;
 
+  /// Passive trace sink (owned by World); nullptr = no tracing. Emits one
+  /// instant per accepted message at enqueue time — after drop decisions,
+  /// so the trace shows what actually went onto the wire. Never consumes
+  /// RNG or alters delivery.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // ---- accounting ------------------------------------------------------
   LinkStats& stats() { return stats_; }
   PerNodeNetStats& node_stats(NodeId id) { return node_stats_[id]; }
@@ -114,6 +123,7 @@ class SimNetwork {
   std::unordered_map<std::uint64_t, Time> pair_clearance_;
   std::function<bool(NodeId, NodeId)> filter_;
   FaultShaper fault_shaper_;
+  obs::Tracer* tracer_ = nullptr;
   LinkStats stats_;
   std::unordered_map<NodeId, PerNodeNetStats> node_stats_;
 };

@@ -1,9 +1,20 @@
 #include "sim/node.hpp"
 
 #include "crypto/provider.hpp"
+#include "obs/trace.hpp"
 #include "sim/world.hpp"
 
 namespace spider {
+
+const char* cpu_cat_name(CpuCat cat) {
+  switch (cat) {
+    case CpuCat::kSerde: return "serde";
+    case CpuCat::kCrypto: return "crypto";
+    case CpuCat::kApp: return "app";
+    case CpuCat::kOther: return "other";
+  }
+  return "other";
+}
 
 SimNode::SimNode(World& world, NodeId id, Site site) : world_(world), id_(id), site_(site) {
   world_.net().attach(this);
@@ -15,6 +26,8 @@ SimNode::~SimNode() {
 }
 
 Time SimNode::now() const { return world_.queue().now(); }
+
+obs::Tracer* SimNode::tracer() const { return world_.tracer(); }
 
 CryptoProvider& SimNode::crypto() { return world_.crypto(); }
 
@@ -67,12 +80,19 @@ void SimNode::drain() {
 void SimNode::run_task(std::function<void()> logic, Duration base_cost) {
   in_task_ = true;
   task_charge_ = base_cost;
+  busy_cat_[static_cast<std::size_t>(CpuCat::kSerde)] += base_cost;
   logic();
   in_task_ = false;
 
   Time start = now();
   busy_until_ = start + task_charge_;
   busy_accum_ += task_charge_;
+
+  // CPU slice for the trace: [start, start + task_charge_] is exactly the
+  // modeled execution window of this task on the single-server CPU.
+  if (obs::Tracer* t = world_.tracer(); t && task_charge_ > 0) {
+    t->complete(start, task_charge_, id_, "cpu", "task");
+  }
 
   // Outputs leave the node once the CPU work is done. A node destroyed
   // (crashed) before that point never got its messages onto the wire.
@@ -86,7 +106,8 @@ void SimNode::run_task(std::function<void()> logic, Duration base_cost) {
   }
 }
 
-void SimNode::charge(Duration cost) {
+void SimNode::charge(Duration cost, CpuCat cat) {
+  busy_cat_[static_cast<std::size_t>(cat)] += cost;
   if (in_task_) {
     task_charge_ += cost;
   } else {
@@ -95,16 +116,18 @@ void SimNode::charge(Duration cost) {
   }
 }
 
-void SimNode::charge_sign() { charge(crypto().costs().sign); }
-void SimNode::charge_verify() { charge(crypto().costs().verify); }
-void SimNode::charge_mac() { charge(crypto().costs().mac); }
+void SimNode::charge_sign() { charge(crypto().costs().sign, CpuCat::kCrypto); }
+void SimNode::charge_verify() { charge(crypto().costs().verify, CpuCat::kCrypto); }
+void SimNode::charge_mac() { charge(crypto().costs().mac, CpuCat::kCrypto); }
 void SimNode::charge_hash(std::size_t nbytes) {
-  charge(crypto().costs().hash_per_kb * static_cast<Duration>(nbytes + 1023) / 1024);
+  charge(crypto().costs().hash_per_kb * static_cast<Duration>(nbytes + 1023) / 1024,
+         CpuCat::kCrypto);
 }
 
 void SimNode::send_to(NodeId to, Payload data) {
   const CryptoCosts& c = crypto().costs();
-  charge(c.proc_per_msg / 2 + c.proc_per_kb * static_cast<Duration>(data.size()) / 1024);
+  charge(c.proc_per_msg / 2 + c.proc_per_kb * static_cast<Duration>(data.size()) / 1024,
+         CpuCat::kSerde);
   if (in_task_) {
     outbox_.emplace_back(to, std::move(data));
   } else {

@@ -22,6 +22,20 @@ namespace spider {
 
 class World;
 class CryptoProvider;
+namespace obs {
+class Tracer;
+}
+
+/// Modeled-CPU cost categories, for the per-replica breakdown the paper's
+/// Figure 9c style plots need (crypto vs serde vs application work).
+enum class CpuCat : std::uint8_t {
+  kSerde = 0,   // message decode/encode + per-message/per-KB base costs
+  kCrypto = 1,  // sign/verify/MAC/hash charges
+  kApp = 2,     // application execution (state machine apply)
+  kOther = 3,   // everything else charged explicitly
+};
+inline constexpr std::size_t kCpuCatCount = 4;
+const char* cpu_cat_name(CpuCat cat);
 
 class SimNode {
  public:
@@ -45,12 +59,15 @@ class SimNode {
 
   // ---- usable from within handlers ------------------------------------
   /// Adds CPU work to the current task (delays this task's outputs and all
-  /// following tasks).
-  void charge(Duration cost);
+  /// following tasks). `cat` attributes the cost for the per-category
+  /// breakdown (busy_in()); timing is identical for every category.
+  void charge(Duration cost, CpuCat cat = CpuCat::kOther);
   void charge_sign();
   void charge_verify();
   void charge_mac();
   void charge_hash(std::size_t nbytes);
+  /// Application-work charge (state-machine execution).
+  void charge_app(Duration cost) { charge(cost, CpuCat::kApp); }
 
   /// Queues a message; it leaves this node when the current task's CPU work
   /// is done (or immediately if called outside a task). The Payload form is
@@ -88,7 +105,18 @@ class SimNode {
 
   // ---- stats -----------------------------------------------------------
   [[nodiscard]] Duration busy_time() const { return busy_accum_; }
-  void reset_busy_time() { busy_accum_ = 0; }
+  /// Modeled CPU time attributed to one category; the four categories sum
+  /// to busy_time().
+  [[nodiscard]] Duration busy_in(CpuCat cat) const {
+    return busy_cat_[static_cast<std::size_t>(cat)];
+  }
+  void reset_busy_time() {
+    busy_accum_ = 0;
+    for (Duration& d : busy_cat_) d = 0;
+  }
+
+  /// The world's tracer (nullptr when tracing is off — the null sink).
+  [[nodiscard]] obs::Tracer* tracer() const;
 
  private:
   friend class SimNetwork;
@@ -112,6 +140,7 @@ class SimNode {
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   Time busy_until_ = 0;
   Duration busy_accum_ = 0;
+  Duration busy_cat_[kCpuCatCount] = {0, 0, 0, 0};
 
   // FIFO CPU queue with a single drain event (O(1) per task).
   std::deque<Task> task_queue_;

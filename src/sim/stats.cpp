@@ -6,11 +6,31 @@
 namespace spider {
 
 void LatencyStats::add(Duration sample) {
+  if (mode_ == Mode::kBucketed) {
+    // Latencies are non-negative in a causally consistent sim; clamp so a
+    // bug upstream degrades to a 0-bucket sample instead of UB.
+    hist_.add(sample > 0 ? static_cast<std::uint64_t>(sample) : 0);
+    return;
+  }
   samples_.push_back(sample);
   sorted_ = false;
 }
 
+void LatencyStats::clear() {
+  hist_.clear();
+  samples_.clear();
+  sorted_ = true;
+}
+
+std::size_t LatencyStats::count() const {
+  if (mode_ == Mode::kBucketed) return static_cast<std::size_t>(hist_.count());
+  return samples_.size();
+}
+
 Duration LatencyStats::percentile(double p) const {
+  if (mode_ == Mode::kBucketed) {
+    return static_cast<Duration>(hist_.percentile(p));
+  }
   if (samples_.empty()) return 0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
@@ -25,16 +45,19 @@ Duration LatencyStats::percentile(double p) const {
 }
 
 Duration LatencyStats::min() const {
+  if (mode_ == Mode::kBucketed) return static_cast<Duration>(hist_.min());
   if (samples_.empty()) return 0;
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 Duration LatencyStats::max() const {
+  if (mode_ == Mode::kBucketed) return static_cast<Duration>(hist_.max());
   if (samples_.empty()) return 0;
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double LatencyStats::mean() const {
+  if (mode_ == Mode::kBucketed) return hist_.mean();
   if (samples_.empty()) return 0;
   double sum = 0;
   for (Duration s : samples_) sum += static_cast<double>(s);

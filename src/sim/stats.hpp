@@ -7,24 +7,47 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 
 namespace spider {
 
 /// Collects duration samples; percentiles computed on demand.
+///
+/// Default mode is kBucketed: samples land in a fixed-memory
+/// obs::LogHistogram (~7.6 KiB regardless of run length), so million-op
+/// benchmarks no longer hoard one Duration per request. Bucketed
+/// percentiles carry the histogram's error bound — relative error at most
+/// 2^-5 ~= 3.2%, exact for values below 32 µs. kExact keeps every sample
+/// and interpolates percentiles precisely; use it for small-N tests that
+/// assert exact quantiles.
 class LatencyStats {
  public:
-  void add(Duration sample);
-  void clear() { samples_.clear(); sorted_ = true; }
+  enum class Mode : std::uint8_t { kBucketed, kExact };
 
-  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  LatencyStats() = default;
+  explicit LatencyStats(Mode mode) : mode_(mode) {}
+
+  void add(Duration sample);
+  void clear();
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] std::size_t count() const;
   [[nodiscard]] Duration percentile(double p) const;  // p in [0, 100]
   [[nodiscard]] Duration median() const { return percentile(50.0); }
   [[nodiscard]] Duration p90() const { return percentile(90.0); }
+  [[nodiscard]] Duration p99() const { return percentile(99.0); }
+  [[nodiscard]] Duration p999() const { return percentile(99.9); }
   [[nodiscard]] Duration min() const;
   [[nodiscard]] Duration max() const;
   [[nodiscard]] double mean() const;
 
+  /// Bucketed-mode backing histogram (empty in exact mode) — lets report
+  /// code merge per-region stats or snapshot them through the registry.
+  [[nodiscard]] const obs::LogHistogram& histogram() const { return hist_; }
+
  private:
+  Mode mode_ = Mode::kBucketed;
+  obs::LogHistogram hist_;
   mutable std::vector<Duration> samples_;
   mutable bool sorted_ = true;
 };

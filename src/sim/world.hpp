@@ -3,11 +3,15 @@
 // given seed.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "crypto/provider.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 
@@ -31,12 +35,47 @@ class World {
   /// Allocates a fresh process id.
   NodeId allocate_id() { return next_id_++; }
 
+  // ---- observability ----------------------------------------------------
+  /// Per-world metrics registry. Always present; recording a counter is a
+  /// u64 increment, so protocol code uses it unconditionally.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// The attached tracer, or nullptr (the null sink — the default).
+  /// Instrumentation sites guard with `if (auto* t = world.tracer())`, so a
+  /// traced-off run performs one branch per site and nothing else: no
+  /// allocation, no RNG draws, no change to scheduling or wire bytes.
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_raw_; }
+
+  /// Attaches a tracer (Full keeps everything; Ring is the flight
+  /// recorder, keeping the last `ring_capacity` events in fixed memory).
+  obs::Tracer& enable_tracing(obs::Tracer::Mode mode = obs::Tracer::Mode::kFull,
+                              std::size_t ring_capacity = 1 << 16);
+  void disable_tracing();
+
+  /// Copies platform counters (event queue, network link stats, payload
+  /// digest totals) into the registry so a snapshot sees them. Cheap; call
+  /// before snapshot_json()/write_snapshot().
+  void refresh_platform_metrics();
+
+  /// Human-readable label for a node's track in exported traces
+  /// ("ag-eu/0", "exec-us/2", "client/57"). Kept on the World so names
+  /// registered before enable_tracing() still reach the tracer.
+  void name_node(NodeId id, std::string name);
+
  private:
   EventQueue queue_;
   Rng rng_;
   std::unique_ptr<CryptoProvider> crypto_;
   std::unique_ptr<SimNetwork> net_;
   NodeId next_id_ = 1;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::Tracer* tracer_raw_ = nullptr;
+  std::map<NodeId, std::string> node_names_;
+  // Process-global digest total at construction: metrics report this
+  // World's digests only, keeping snapshots deterministic across replays
+  // in one process.
+  std::uint64_t payload_digest_base_ = 0;
 };
 
 }  // namespace spider

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "sim/world.hpp"
 
 namespace spider {
@@ -223,6 +224,11 @@ void AgreementReplica::handle_ordered(SeqNr first, const std::vector<Bytes>& bat
           x.op = cr.op;
           t_[cr.client] = cr.counter;
           t_plus_[cr.client] = std::max(t_plus_[cr.client], cr.counter + 1);
+        }
+        if (auto* t = tracer()) {
+          t->async(obs::Ph::kAsyncInstant, now(), id(),
+                   obs::request_id(cr.client, cr.counter), "request", "ordered",
+                   "seq", s);
         }
       } catch (const SerdeError&) {
         x.kind = ExecuteKind::Noop;

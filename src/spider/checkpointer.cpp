@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+#include "sim/world.hpp"
+
 namespace spider {
 
 namespace {
@@ -130,6 +133,9 @@ Bytes Checkpointer::proof_for(SeqNr s) const {
 void Checkpointer::deliver(SeqNr s, Payload state) {
   if (s <= last_stable_) return;
   last_stable_ = s;
+  if (auto* t = host().tracer()) {
+    t->instant(host().now(), host().id(), "checkpoint", "stable_cp", "seq", s);
+  }
 
   // Assemble and store the f+1-signature proof for peers that fetch later.
   auto cit = candidates_.find(s);
@@ -174,6 +180,9 @@ void Checkpointer::fetch_cp(SeqNr s) {
   if (s <= last_stable_) return;
   if (fetch_target_ >= s && fetch_timer_ != EventQueue::kInvalidEvent) return;
   fetch_target_ = std::max(fetch_target_, s);
+  if (auto* t = host().tracer()) {
+    t->instant(host().now(), host().id(), "checkpoint", "fetch_cp", "seq", s);
+  }
   retry_fetch();
 }
 

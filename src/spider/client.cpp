@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "sim/world.hpp"
 
 namespace spider {
@@ -31,7 +32,13 @@ SpiderClient::SpiderClient(World& world, Site site, ClientGroupInfo group, Durat
     : ComponentHost(world, world.allocate_id(), site),
       group_(std::move(group)),
       retry_(retry),
-      rng_(world.rng().fork()) {}
+      rng_(world.rng().fork()),
+      retransmits_(world.metrics().counter("client_retransmits",
+                                           {.node = id(), .role = "client"})),
+      lat_ordered_(world.metrics().histogram("client_latency_ordered",
+                                             {.node = id(), .role = "client"})),
+      lat_direct_(world.metrics().histogram("client_latency_direct",
+                                            {.node = id(), .role = "client"})) {}
 
 void SpiderClient::switch_group(ClientGroupInfo group) {
   group_ = std::move(group);
@@ -64,6 +71,10 @@ void SpiderClient::start_next() {
   replies_.clear();
   current_start_ = now();
   retry_cur_ = retry_;
+  if (auto* t = tracer()) {
+    t->async(obs::Ph::kAsyncBegin, now(), id(), obs::request_id(id(), tc_),
+             "request", "ordered", "kind", static_cast<std::uint64_t>(cur.kind));
+  }
   transmit_current();
 
   if (retry_timer_ != EventQueue::kInvalidEvent) cancel_timer(retry_timer_);
@@ -87,7 +98,11 @@ void SpiderClient::arm_retry() {
   retry_timer_ = set_timer(retry_cur_ + retry_jitter(retry_cur_), [this] {
     retry_timer_ = EventQueue::kInvalidEvent;
     if (!in_flight_) return;
-    ++retries_;
+    retransmits_.inc();
+    if (auto* t = tracer()) {
+      t->async(obs::Ph::kAsyncInstant, now(), id(), obs::request_id(id(), tc_),
+               "request", "retransmit");
+    }
     transmit_current();
     retry_cur_ = std::min<Duration>(retry_cur_ * 2, kRetryBackoffCap * retry_);
     arm_retry();
@@ -126,6 +141,12 @@ void SpiderClient::start_weak() {
   weak_replies_.clear();
   weak_start_ = now();
   weak_retry_cur_ = retry_;
+  if (auto* t = tracer()) {
+    t->async(obs::Ph::kAsyncBegin, now(), id(),
+             obs::request_id(id(), weak_counter_, /*weak=*/true), "request",
+             "direct", "kind",
+             static_cast<std::uint64_t>(weak_queue_.front().kind));
+  }
   transmit_weak();
   arm_weak_retry();
 }
@@ -152,11 +173,21 @@ void SpiderClient::arm_weak_retry() {
       WeakOp op = std::move(weak_queue_.front());
       weak_queue_.pop_front();
       weak_in_flight_ = false;
+      if (auto* t = tracer()) {
+        t->async(obs::Ph::kAsyncEnd, now(), id(),
+                 obs::request_id(id(), weak_counter_, /*weak=*/true), "request",
+                 "direct", "fallback", 1);
+      }
       submit_ordered(OpKind::Write, std::move(op.op), std::move(op.cb));
       start_weak();
       return;
     }
-    ++retries_;
+    retransmits_.inc();
+    if (auto* t = tracer()) {
+      t->async(obs::Ph::kAsyncInstant, now(), id(),
+               obs::request_id(id(), weak_counter_, /*weak=*/true), "request",
+               "retransmit");
+    }
     transmit_weak();
     weak_retry_cur_ = std::min<Duration>(weak_retry_cur_ * 2, kRetryBackoffCap * retry_);
     arm_weak_retry();
@@ -245,6 +276,12 @@ void SpiderClient::handle_reply(NodeId from, Reader& r) {
         weak_retry_timer_ = EventQueue::kInvalidEvent;
       }
       Duration latency = now() - weak_start_;
+      lat_direct_.add(static_cast<std::uint64_t>(latency));
+      if (auto* t = tracer()) {
+        t->async(obs::Ph::kAsyncEnd, now(), id(),
+                 obs::request_id(id(), weak_counter_, /*weak=*/true), "request",
+                 "direct");
+      }
       op.cb(std::move(out), latency);
       start_weak();  // next queued weak read, if any
     }
@@ -263,6 +300,11 @@ void SpiderClient::handle_reply(NodeId from, Reader& r) {
       retry_timer_ = EventQueue::kInvalidEvent;
     }
     Duration latency = now() - current_start_;
+    lat_ordered_.add(static_cast<std::uint64_t>(latency));
+    if (auto* t = tracer()) {
+      t->async(obs::Ph::kAsyncEnd, now(), id(), obs::request_id(id(), tc_),
+               "request", "ordered");
+    }
     op.cb(std::move(out), latency);
     start_next();
   }

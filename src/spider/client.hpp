@@ -10,6 +10,7 @@
 #include <map>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/component.hpp"
 #include "spider/messages.hpp"
 
@@ -88,7 +89,9 @@ class SpiderClient : public ComponentHost {
   void resubmit(PendingOp op);
 
   [[nodiscard]] const ClientGroupInfo& group() const { return group_; }
-  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  /// Total retransmissions (ordered + direct). Thin read of the registry
+  /// counter `client_retransmits{node=id(), role="client"}`.
+  [[nodiscard]] std::uint64_t retries() const { return retransmits_.value(); }
 
  private:
   struct OrderedOp {
@@ -123,7 +126,11 @@ class SpiderClient : public ComponentHost {
   Time current_start_ = 0;
   std::map<NodeId, Bytes> replies_;  // replica -> result (for current tc)
   EventQueue::EventId retry_timer_ = EventQueue::kInvalidEvent;
-  std::uint64_t retries_ = 0;
+
+  // Registry-backed stats (references stay valid for the World's lifetime).
+  obs::Counter& retransmits_;
+  obs::LogHistogram& lat_ordered_;
+  obs::LogHistogram& lat_direct_;
 
   // Direct-read state (weak reads, and BFT-style optimized strong reads):
   // one outstanding direct op at a time.

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "obs/trace.hpp"
 #include "sim/world.hpp"
 
 namespace spider {
@@ -106,7 +107,12 @@ void ExecutionReplica::handle_client(NodeId from, Reader& r) {
       reply_to(from, req.counter, make_wrong_shard_reply(*map_), /*weak=*/true);
       return;
     }
-    charge(kExecCost);
+    charge_app(kExecCost);
+    if (auto* t = tracer()) {
+      t->async(obs::Ph::kAsyncInstant, now(), id(),
+               obs::request_id(req.client, req.counter, /*weak=*/true), "request",
+               "weak-exec");
+    }
     Bytes result = app_->execute_weak(req.op);
     reply_to(from, req.counter, result, /*weak=*/true);
     return;
@@ -135,6 +141,10 @@ void ExecutionReplica::handle_client(NodeId from, Reader& r) {
 
   last = req.counter;
   if (drop_forwarding) return;  // Byzantine: silently refuse to forward
+  if (auto* t = tracer()) {
+    t->async(obs::Ph::kAsyncInstant, now(), id(),
+             obs::request_id(req.client, req.counter), "request", "forward");
+  }
   request_tx_->move_window(req.client, req.counter);
   request_tx_->send(req.client, req.counter,
                     RequestMsg{std::move(frame), cfg_.group}.encode(), {});
@@ -200,7 +210,12 @@ void ExecutionReplica::process_execute(const ExecuteMsg& x) {
         }
         break;
       }
-      charge(kExecCost);
+      charge_app(kExecCost);
+      if (auto* t = tracer()) {
+        t->async(obs::Ph::kAsyncInstant, now(), id(),
+                 obs::request_id(x.client, x.counter), "request", "execute",
+                 "seq", sn_);
+      }
       // Ownership is decided at commit time — the op was ordered, but if a
       // migration committed first this shard must redirect, not execute,
       // so every replica attributes the key to the same owner.
@@ -314,6 +329,10 @@ Bytes ExecutionReplica::migrate_in(const MigrateInCmd& cmd) {
 void ExecutionReplica::reply_to(NodeId client, std::uint64_t counter, BytesView result,
                                 bool weak) {
   Bytes out = to_bytes(result);
+  if (auto* t = tracer()) {
+    t->async(obs::Ph::kAsyncInstant, now(), id(),
+             obs::request_id(client, counter, weak), "request", "reply");
+  }
   // Byzantine tampering, outvoted by fe+1 matching correct replies (fe+1
   // corruptors are the linearizability checker's canary).
   if (corrupt_replies) corrupt_reply_payload(out);
@@ -333,6 +352,9 @@ void ExecutionReplica::maybe_checkpoint() {
   if (sn_ < last_cp_ + cfg_.ke) return;
   last_cp_ = sn_;
   ++checkpoints_;
+  if (auto* t = tracer()) {
+    t->instant(now(), id(), "checkpoint", "gen_cp", "seq", sn_);
+  }
   checkpointer_->gen_cp(sn_, snapshot_state());
 }
 
@@ -381,6 +403,9 @@ void ExecutionReplica::apply_state(SeqNr s, BytesView state) {
   replies_ = std::move(replies);
   sn_ = s;
   ++catchups_;
+  if (auto* t = tracer()) {
+    t->instant(now(), id(), "checkpoint", "catchup", "seq", s);
+  }
 }
 
 void ExecutionReplica::on_stable_checkpoint(SeqNr s, BytesView state) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "sim/topology.hpp"
 #include "sim/world.hpp"
 
 namespace spider {
@@ -79,6 +81,7 @@ SpiderSystem::SpiderSystem(World& world, SpiderTopology topology)
   // agreement group's request validator.
   admin_ = std::make_unique<SpiderClient>(world_, Site{topo_.agreement_region, 0},
                                           ClientGroupInfo{}, topo_.client_retry);
+  world_.name_node(admin_->id(), "admin-client");
 
   // Reserve ids: agreement replicas, then one block per execution group.
   const std::size_t na = 3 * topo_.fa + 1;
@@ -103,6 +106,9 @@ SpiderSystem::SpiderSystem(World& world, SpiderTopology topology)
   for (std::size_t i = 0; i < na; ++i) {
     agreement_.push_back(
         std::make_unique<AgreementReplica>(world_, agreement_sites_[i], agreement_config(i)));
+    world_.name_node(agreement_ids_[i], std::string("ag-") +
+                                            region_name(agreement_sites_[i].region) + "/" +
+                                            std::to_string(i));
   }
 
   // Execution groups.
@@ -156,6 +162,9 @@ ExecutionConfig SpiderSystem::exec_config(GroupId g, std::size_t i) const {
 
 std::unique_ptr<ExecutionReplica> SpiderSystem::build_exec_replica(GroupId g, std::size_t i) {
   std::vector<Site> sites = replica_sites(group_regions_.at(g), group_members_.at(g).size());
+  world_.name_node(group_members_.at(g)[i],
+                   std::string("exec-") + region_name(group_regions_.at(g)) + "/g" +
+                       std::to_string(g) + "/" + std::to_string(i));
   return std::make_unique<ExecutionReplica>(world_, sites[i], exec_config(g, i),
                                             topo_.make_app());
 }
@@ -215,8 +224,11 @@ GroupId SpiderSystem::nearest_group(Region r) const {
 }
 
 std::unique_ptr<SpiderClient> SpiderSystem::make_client(Site site) {
-  return std::make_unique<SpiderClient>(world_, site, group_info(nearest_group(site.region)),
-                                        topo_.client_retry);
+  auto c = std::make_unique<SpiderClient>(world_, site, group_info(nearest_group(site.region)),
+                                          topo_.client_retry);
+  world_.name_node(c->id(), std::string("client-") + region_name(site.region) + "/" +
+                                std::to_string(c->id()));
+  return c;
 }
 
 SpiderClient& SpiderSystem::admin() { return *admin_; }

@@ -27,6 +27,7 @@
 
 #include "baselines/bft_system.hpp"
 #include "check/linearizer.hpp"
+#include "obs/trace_export.hpp"
 #include "common/hex.hpp"
 #include "crypto/sha256.hpp"
 #include "shard/sharded_system.hpp"
@@ -63,7 +64,13 @@ struct ChaosOutcome {
   std::string history_dump;
   std::string history_text;    // replayable (HistoryRecorder::serialize_text)
   Bytes history;
+  std::string flight_trace;    // Chrome-trace JSON of the final seconds
 };
+
+/// Flight-recorder window: every chaos run keeps a ring of recent trace
+/// events, and failure artifacts ship this much tail as a Perfetto-loadable
+/// JSON sibling — "what was the system doing right before it wedged".
+constexpr Time kFlightWindow = 5 * kSecond;
 
 /// Runs the common chaos phases once the config-specific setup produced
 /// client handles, fault targets and partition groups.
@@ -170,12 +177,21 @@ ChaosOutcome drive_chaos(World& world, HistoryRecorder& hist, FaultPlan& plan,
   out.history_dump = hist.dump();
   out.history_text = hist.serialize_text();
   out.history = hist.serialize();
+  if (auto* t = world.tracer()) {
+    const Time end = world.now();
+    out.flight_trace =
+        obs::chrome_trace_json(*t, end > kFlightWindow ? end - kFlightWindow : 0, end);
+  }
   return out;
 }
 
 ChaosOutcome run_chaos(ChaosConfig config, std::uint64_t seed, bool byzantine = false,
                        const std::string* replay_script = nullptr) {
   World world(seed);
+  // Flight recorder: a fixed-memory ring of recent trace events, always on
+  // for chaos runs. Recording is out-of-band (no RNG, no scheduling, no
+  // wire bytes), so the golden-pinned histories below are unaffected.
+  world.enable_tracing(obs::Tracer::Mode::kRing, 1 << 15);
   HistoryRecorder hist(world);
 
   switch (config) {
@@ -352,11 +368,19 @@ std::string artifact_section(const std::string& artifact, const std::string& hea
 
 void write_failure_artifact(ChaosConfig config, std::uint64_t seed, const ChaosOutcome& out,
                             bool byzantine) {
-  std::string path = std::string("chaos_failure_") + (byzantine ? "byz_" : "") +
-                     config_name(config) + "_seed" + std::to_string(seed) + ".txt";
+  std::string stem = std::string("chaos_failure_") + (byzantine ? "byz_" : "") +
+                     config_name(config) + "_seed" + std::to_string(seed);
+  std::string path = stem + ".txt";
   std::ofstream f(path);
   f << artifact_text(config, seed, out);
-  ADD_FAILURE() << "chaos scenario failed; artifact written to " << path
+  std::string trace_note;
+  if (!out.flight_trace.empty()) {
+    std::string trace_path = stem + "_trace.json";
+    std::ofstream tf(trace_path);
+    tf << out.flight_trace;
+    trace_note = "; flight-recorder trace in " + trace_path;
+  }
+  ADD_FAILURE() << "chaos scenario failed; artifact written to " << path << trace_note
                 << " — reproduce with config=" << config_name(config) << " seed=" << seed
                 << (byzantine ? " (byzantine sweep)" : "");
 }
@@ -416,6 +440,11 @@ TEST(ChaosDeterminism, SeedReplayIsByteIdentical) {
   EXPECT_EQ(a.fault_script, b.fault_script);
   EXPECT_EQ(a.history, b.history);
   EXPECT_FALSE(a.history.empty());
+  // The flight-recorder trace is part of the deterministic surface: every
+  // event is sim-time-stamped and RNG-free, so a seed replay reproduces
+  // the exported JSON byte for byte.
+  EXPECT_EQ(a.flight_trace, b.flight_trace);
+  EXPECT_FALSE(a.flight_trace.empty());
 
   ChaosOutcome c = run_chaos(ChaosConfig::SpiderF1, 8);
   EXPECT_NE(c.history, a.history);
@@ -519,6 +548,30 @@ TEST(ChaosArtifacts, ArtifactRoundTripReplaysByteIdentically) {
   ChaosOutcome b = run_chaos(ChaosConfig::SpiderF1, 105, /*byzantine=*/true, &script);
   EXPECT_EQ(b.fault_script, a.fault_script);
   EXPECT_EQ(b.history, a.history);
+}
+
+TEST(ChaosArtifacts, FlightRecorderTraceIsWellFormed) {
+  ChaosOutcome out = run_chaos(ChaosConfig::SpiderF1, 9);
+  ASSERT_FALSE(out.flight_trace.empty());
+  const std::string& t = out.flight_trace;
+  // Chrome trace-event envelope, loadable by chrome://tracing and Perfetto.
+  EXPECT_EQ(t.rfind("{\"displayTimeUnit\"", 0), 0u) << t.substr(0, 80);
+  EXPECT_NE(t.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(t.substr(t.size() - 3), "]}\n");
+  // Track metadata and at least one protocol-layer event made the window.
+  EXPECT_NE(t.find("process_name"), std::string::npos);
+  EXPECT_NE(t.find("\"cat\":\"request\""), std::string::npos);
+  // Balanced braces — cheap structural check without a JSON parser.
+  std::ptrdiff_t depth = 0;
+  for (char ch : t) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  // Every kept event falls inside the exported window.
+  ChaosOutcome again = run_chaos(ChaosConfig::SpiderF1, 9);
+  EXPECT_EQ(out.flight_trace, again.flight_trace);
 }
 
 // ---------------------------------------------------------------------------

@@ -10,10 +10,12 @@ TEST(LatencyStats, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.median(), 0);
   EXPECT_EQ(s.p90(), 0);
+  EXPECT_EQ(s.p99(), 0);
+  EXPECT_EQ(s.p999(), 0);
 }
 
 TEST(LatencyStats, SingleSample) {
-  LatencyStats s;
+  LatencyStats s(LatencyStats::Mode::kExact);
   s.add(100);
   EXPECT_EQ(s.median(), 100);
   EXPECT_EQ(s.p90(), 100);
@@ -22,7 +24,7 @@ TEST(LatencyStats, SingleSample) {
 }
 
 TEST(LatencyStats, MedianOfKnownSet) {
-  LatencyStats s;
+  LatencyStats s(LatencyStats::Mode::kExact);
   for (Duration v : {10, 20, 30, 40, 50}) s.add(v);
   EXPECT_EQ(s.median(), 30);
   EXPECT_EQ(s.percentile(0), 10);
@@ -30,7 +32,7 @@ TEST(LatencyStats, MedianOfKnownSet) {
 }
 
 TEST(LatencyStats, PercentileInterpolates) {
-  LatencyStats s;
+  LatencyStats s(LatencyStats::Mode::kExact);
   s.add(0);
   s.add(100);
   EXPECT_EQ(s.median(), 50);
@@ -38,21 +40,65 @@ TEST(LatencyStats, PercentileInterpolates) {
 }
 
 TEST(LatencyStats, UnsortedInsertOrder) {
-  LatencyStats s;
+  LatencyStats s(LatencyStats::Mode::kExact);
   for (Duration v : {50, 10, 40, 20, 30}) s.add(v);
   EXPECT_EQ(s.median(), 30);
 }
 
 TEST(LatencyStats, Mean) {
-  LatencyStats s;
+  LatencyStats s;  // mean is exact in both modes (sum/count)
   for (Duration v : {1, 2, 3, 4}) s.add(v);
   EXPECT_DOUBLE_EQ(s.mean(), 2.5);
 }
 
 TEST(LatencyStats, P90OfHundred) {
-  LatencyStats s;
+  LatencyStats s(LatencyStats::Mode::kExact);
   for (int i = 1; i <= 100; ++i) s.add(i);
   EXPECT_NEAR(static_cast<double>(s.p90()), 90.0, 1.0);
+}
+
+// ---- bucketed (default) mode: bounded memory, bounded error --------------
+
+TEST(LatencyStats, BucketedSmallValuesExact) {
+  // Values below 32 land in width-1 buckets, so small-N quantiles are exact
+  // even without the exact-sample flag.
+  LatencyStats s;
+  for (Duration v : {1, 2, 3, 4, 5}) s.add(v);
+  EXPECT_EQ(s.median(), 3);
+  EXPECT_EQ(s.min(), 1);
+  EXPECT_EQ(s.max(), 5);
+}
+
+TEST(LatencyStats, BucketedPercentileWithinErrorBound) {
+  // Documented bound: relative error <= 2^-(kSubBits+1) = 3.125%.
+  LatencyStats s;
+  for (int i = 1; i <= 10'000; ++i) s.add(i);
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double exact = p / 100.0 * 10'000.0;
+    const auto got = static_cast<double>(s.percentile(p));
+    EXPECT_NEAR(got, exact, exact * 0.03125 + 1.0) << "p=" << p;
+  }
+  EXPECT_EQ(s.min(), 1);
+  EXPECT_EQ(s.max(), 10'000);
+  EXPECT_DOUBLE_EQ(s.mean(), 5000.5);  // sum/count: exact in bucketed mode
+}
+
+TEST(LatencyStats, BucketedClampsNegativeSamples) {
+  LatencyStats s;
+  s.add(-100);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.min(), 0);
+  EXPECT_EQ(s.max(), 0);
+}
+
+TEST(LatencyStats, BucketedClearResets) {
+  LatencyStats s;
+  for (int i = 0; i < 100; ++i) s.add(1000 + i);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.median(), 0);
+  s.add(7);
+  EXPECT_EQ(s.median(), 7);
 }
 
 TEST(TimeSeries, BucketsAverages) {

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate Spider observability artifacts against docs/obs/*.schema.json.
+
+Stdlib only (no jsonschema dependency): implements the small subset of JSON
+Schema the two obs schemas use — type/enum/const/required/properties/
+additionalProperties/minimum/minLength/pattern/allOf/if-then-else — so CI
+can gate exported traces and metrics snapshots without installing anything.
+
+Usage:
+    check_obs_json.py metrics <snapshot.json>   # JSON-lines, one obj/line
+    check_obs_json.py trace <trace.json>        # Chrome trace-event file
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA_DIR = Path(__file__).resolve().parent.parent / "docs" / "obs"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def _check(value, schema, path, errors):
+    """Appends 'path: problem' strings to errors; subset-of-draft-07."""
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, got {value!r}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+        return
+    if "type" in schema:
+        expected = _TYPES[schema["type"]]
+        ok = isinstance(value, expected)
+        if ok and schema["type"] in ("number", "integer") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {schema['type']}, got {type(value).__name__}")
+            return
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, str):
+        if "minLength" in schema and len(value) < schema["minLength"]:
+            errors.append(f"{path}: shorter than minLength {schema['minLength']}")
+        if "pattern" in schema and not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match {schema['pattern']!r}")
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required key {req!r}")
+        for k, v in value.items():
+            if k in props:
+                _check(v, props[k], f"{path}.{k}", errors)
+            elif schema.get("additionalProperties") is False:
+                errors.append(f"{path}: unexpected key {k!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _check(item, schema["items"], f"{path}[{i}]", errors)
+    for clause in schema.get("allOf", []):
+        if "if" in clause:
+            probe = []
+            _check(value, clause["if"], path, probe)
+            branch = clause.get("then") if not probe else clause.get("else")
+            if branch:
+                _check(value, branch, path, errors)
+        else:
+            _check(value, clause, path, errors)
+
+
+def load_schema(name):
+    with open(SCHEMA_DIR / name, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_metrics(path):
+    schema = load_schema("metrics.schema.json")
+    errors = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    objs = 0
+    for n, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"line {n}: not valid JSON ({e})")
+            continue
+        objs += 1
+        _check(obj, schema, f"line {n}", errors)
+    if objs == 0:
+        errors.append("no metric lines found")
+    return objs, errors
+
+
+def check_trace(path):
+    schema = load_schema("trace.schema.json")
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        return 0, [f"not valid JSON: {e}"]
+    _check(doc, schema, "$", errors)
+    events = doc.get("traceEvents", []) if isinstance(doc, dict) else []
+    # Beyond per-event shape: async begin/end pairing per correlation id.
+    depth = {}
+    for ev in events:
+        if not isinstance(ev, dict):
+            continue
+        if ev.get("ph") == "b":
+            depth[ev.get("id")] = depth.get(ev.get("id"), 0) + 1
+        elif ev.get("ph") == "e":
+            d = depth.get(ev.get("id"), 0) - 1
+            if d < 0:
+                errors.append(f"async end without begin for id {ev.get('id')}")
+            depth[ev.get("id")] = max(d, 0)
+    return len(events), errors
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("metrics", "trace"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    kind, path = sys.argv[1], sys.argv[2]
+    count, errors = (check_metrics if kind == "metrics" else check_trace)(path)
+    for e in errors[:50]:
+        print(f"FAIL {path}: {e}", file=sys.stderr)
+    if errors:
+        print(f"FAIL {path}: {len(errors)} schema violations", file=sys.stderr)
+        return 1
+    unit = "metric lines" if kind == "metrics" else "trace events"
+    print(f"OK {path}: {count} {unit} valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
