@@ -14,11 +14,16 @@
 
 namespace spider::bench {
 
+/// `file` lets a bench pick its own trajectory file (e.g. the open-loop
+/// harness appends to BENCH_pr8.json); the BENCH_JSON_PATH env override
+/// still wins so CI can redirect everything.
 inline void bench_json(const std::string& bench, const std::string& metric, double value,
-                       const std::string& unit, std::uint64_t seed = 0) {
+                       const std::string& unit, std::uint64_t seed = 0,
+                       const char* file = nullptr) {
   const char* enabled = std::getenv("BENCH_JSON");
   if (enabled && std::string(enabled) == "0") return;
   const char* path = std::getenv("BENCH_JSON_PATH");
+  if (!path) path = file;
   std::FILE* f = std::fopen(path ? path : "BENCH_pr7.json", "a");
   if (!f) return;
   std::fprintf(f,

@@ -1,0 +1,119 @@
+#include "load/open_loop.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "app/kvstore.hpp"
+#include "sim/world.hpp"
+
+namespace spider::load {
+
+std::string_view load_op_name(LoadOp op) {
+  switch (op) {
+    case LoadOp::Write: return "write";
+    case LoadOp::WeakRead: return "weak-read";
+    case LoadOp::StrongRead: return "strong-read";
+  }
+  return "?";
+}
+
+OpenLoopRunner::OpenLoopRunner(World& world, OpenLoopProfile profile)
+    : world_(world),
+      profile_((validate_profile(profile), std::move(profile))),
+      rng_(world.rng().fork()),
+      zipf_(profile_.key_count, profile_.zipf_theta),
+      sojourn_(world.metrics().histogram("openloop_sojourn_us", {.role = "load"})),
+      sojourn_write_(
+          world.metrics().histogram("openloop_sojourn_write_us", {.role = "load"})),
+      sojourn_weak_(
+          world.metrics().histogram("openloop_sojourn_weak_us", {.role = "load"})),
+      sojourn_strong_(
+          world.metrics().histogram("openloop_sojourn_strong_us", {.role = "load"})),
+      arrivals_total_(world.metrics().counter("openloop_arrivals_total", {.role = "load"})),
+      arrivals_(world.metrics().counter("openloop_arrivals_measured", {.role = "load"})),
+      completed_(world.metrics().counter("openloop_completed_measured", {.role = "load"})),
+      max_depth_(world.metrics().gauge("openloop_max_queue_depth", {.role = "load"})) {}
+
+void OpenLoopRunner::add_client(Submit submit, DepthProbe depth) {
+  slots_.push_back(Slot{std::move(submit), std::move(depth)});
+}
+
+obs::LogHistogram& OpenLoopRunner::class_histogram(LoadOp op) {
+  switch (op) {
+    case LoadOp::Write: return sojourn_write_;
+    case LoadOp::WeakRead: return sojourn_weak_;
+    case LoadOp::StrongRead: return sojourn_strong_;
+  }
+  return sojourn_write_;
+}
+
+void OpenLoopRunner::schedule_arrival() {
+  // Exponential inter-arrival gaps: a Poisson process at the offered rate.
+  // Rounded to the sim's microsecond grid; a sub-microsecond gap lands in
+  // the same tick (FIFO order keeps it deterministic).
+  const double mean_gap_us = 1e6 / profile_.rate;
+  auto gap = static_cast<Duration>(std::llround(rng_.exponential(mean_gap_us)));
+  if (gap < 0) gap = 0;
+  world_.queue().schedule_after(gap, [this] { on_arrival(); });
+}
+
+void OpenLoopRunner::on_arrival() {
+  if (world_.now() >= stop_) return;  // offered window over: stop the chain
+  schedule_arrival();                 // next arrival is independent of this op
+
+  Slot& slot = slots_[next_slot_];
+  next_slot_ = (next_slot_ + 1) % slots_.size();
+
+  const std::string key = workload_key(zipf_.draw(rng_));
+  const double u = rng_.uniform01();
+  LoadOp op = LoadOp::StrongRead;
+  if (u < profile_.write_fraction) {
+    op = LoadOp::Write;
+  } else if (u < profile_.write_fraction + profile_.weak_fraction) {
+    op = LoadOp::WeakRead;
+  }
+  Bytes encoded = op == LoadOp::Write ? kv_put(key, Bytes(profile_.value_size, 0x42))
+                                      : kv_get(key);
+
+  const Time arrival = world_.now();
+  const bool in_window = arrival >= measure_from_;
+  arrivals_total_.inc();
+  if (in_window) arrivals_.inc();
+
+  slot.submit(op, std::move(encoded), [this, arrival, in_window, op](Bytes, Duration) {
+    if (!in_window) return;
+    const auto sojourn = static_cast<std::uint64_t>(world_.now() - arrival);
+    sojourn_.add(sojourn);
+    class_histogram(op).add(sojourn);
+    completed_.inc();
+  });
+
+  if (slot.depth) {
+    const auto d = static_cast<std::int64_t>(slot.depth());
+    if (d > max_depth_.value()) max_depth_.set(d);
+  }
+}
+
+OpenLoopResult OpenLoopRunner::run() {
+  if (slots_.empty()) throw std::logic_error("OpenLoopRunner: no clients added");
+  const Time t0 = world_.now();
+  measure_from_ = t0 + profile_.warmup;
+  stop_ = measure_from_ + profile_.measure;
+  schedule_arrival();
+  world_.run_until(stop_ + profile_.drain);
+
+  OpenLoopResult r;
+  r.offered_rate = profile_.rate;
+  r.arrivals_total = arrivals_total_.value();
+  r.arrivals = arrivals_.value();
+  r.completed = completed_.value();
+  r.goodput = static_cast<double>(r.completed) / to_sec(profile_.measure);
+  r.p50_us = sojourn_.percentile(50.0);
+  r.p99_us = sojourn_.percentile(99.0);
+  r.p999_us = sojourn_.percentile(99.9);
+  r.mean_us = sojourn_.mean();
+  r.max_queue_depth = static_cast<std::uint64_t>(max_depth_.value());
+  return r;
+}
+
+}  // namespace spider::load

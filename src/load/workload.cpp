@@ -1,0 +1,60 @@
+#include "load/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace spider::load {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double theta) : n_(n), theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be > 0");
+  if (!(theta >= 0.0)) throw std::invalid_argument("ZipfGenerator: theta must be >= 0");
+  if (theta == 0.0) return;  // uniform fast path
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail short of 1
+}
+
+std::size_t ZipfGenerator::draw(Rng& rng) const {
+  if (cdf_.empty()) return static_cast<std::size_t>(rng.uniform(n_));
+  double u = rng.uniform01();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+void validate_profile(const OpenLoopProfile& p) {
+  if (!(p.rate > 0.0)) throw std::invalid_argument("OpenLoopProfile.rate must be > 0");
+  if (p.clients == 0) throw std::invalid_argument("OpenLoopProfile.clients must be > 0");
+  if (p.key_count == 0) throw std::invalid_argument("OpenLoopProfile.key_count must be > 0");
+  if (!(p.zipf_theta >= 0.0)) {
+    throw std::invalid_argument("OpenLoopProfile.zipf_theta must be >= 0");
+  }
+  if (!(p.write_fraction >= 0.0 && p.write_fraction <= 1.0)) {
+    throw std::invalid_argument("OpenLoopProfile.write_fraction must be in [0, 1]");
+  }
+  if (!(p.weak_fraction >= 0.0 && p.weak_fraction <= 1.0)) {
+    throw std::invalid_argument("OpenLoopProfile.weak_fraction must be in [0, 1]");
+  }
+  if (p.write_fraction + p.weak_fraction > 1.0) {
+    throw std::invalid_argument(
+        "OpenLoopProfile.write_fraction + weak_fraction must be <= 1");
+  }
+  if (p.warmup < 0) throw std::invalid_argument("OpenLoopProfile.warmup must be >= 0");
+  if (p.measure <= 0) throw std::invalid_argument("OpenLoopProfile.measure must be > 0");
+  if (p.drain < 0) throw std::invalid_argument("OpenLoopProfile.drain must be >= 0");
+}
+
+std::string workload_key(std::size_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%06zu", i);
+  return buf;
+}
+
+}  // namespace spider::load

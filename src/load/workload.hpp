@@ -1,0 +1,67 @@
+// Open-loop workload profiles and deterministic generators.
+//
+// An open-loop generator decides *when* requests arrive (a Poisson process
+// at the offered rate) independently of when earlier requests complete, so
+// a saturated system accumulates queueing delay instead of silently
+// throttling the workload — the regime every closed-loop bench in bench/
+// hides. The profile fixes the offered rate, the simulated client
+// population, the key popularity skew and the op mix; all randomness draws
+// from an Rng forked off the World seed, so a repeated seed replays the
+// exact arrival schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace spider::load {
+
+/// Zipfian rank generator over [0, n): P(i) proportional to 1/(i+1)^theta,
+/// so rank 0 is the hottest key. The CDF is precomputed once (O(n) doubles)
+/// and each draw is one uniform01 plus a binary search — deterministic for
+/// a given Rng stream. theta == 0 degenerates to the uniform distribution
+/// (no CDF stored). Typical hot-key skew uses theta = 0.99 (YCSB's
+/// default zipfian constant).
+class ZipfGenerator {
+ public:
+  /// Throws std::invalid_argument for n == 0 or theta < 0.
+  ZipfGenerator(std::size_t n, double theta);
+
+  [[nodiscard]] std::size_t draw(Rng& rng) const;
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // empty when uniform
+};
+
+/// One open-loop run configuration. Rates are ops/s of simulated time;
+/// durations are simulated microseconds.
+struct OpenLoopProfile {
+  double rate = 100.0;           ///< offered load, ops/s (Poisson arrivals)
+  std::size_t clients = 2048;    ///< simulated client population (round-robin)
+  std::size_t key_count = 4096;  ///< distinct keys ("k000000".."k004095")
+  double zipf_theta = 0.99;      ///< hot-key skew; 0 = uniform
+  std::size_t value_size = 160;  ///< write payload (~200-byte wire requests)
+  double write_fraction = 0.5;   ///< ordered writes
+  double weak_fraction = 0.45;   ///< weak (fast-path) reads
+  // remainder (1 - write - weak) issues strong reads
+  Duration warmup = 1 * kSecond;   ///< arrivals before this are not measured
+  Duration measure = 2 * kSecond;  ///< measurement window
+  Duration drain = 4 * kSecond;    ///< extra run time for in-window completions
+};
+
+/// Throws std::invalid_argument naming the offending field (same contract
+/// as validate_topology).
+void validate_profile(const OpenLoopProfile& p);
+
+/// Key for rank `i`: zero-padded so lexicographic order matches rank order
+/// and keys hash uniformly across a ShardMap.
+std::string workload_key(std::size_t i);
+
+}  // namespace spider::load

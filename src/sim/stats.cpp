@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 namespace spider {
 
@@ -28,7 +29,12 @@ std::size_t LatencyStats::count() const {
 }
 
 Duration LatencyStats::percentile(double p) const {
+  // Clamp to [0, 100] (NaN lands on 0): an out-of-range p used to produce a
+  // negative exact-mode rank whose size_t cast indexed far out of bounds.
+  if (!(p >= 0.0)) p = 0.0;
+  if (p > 100.0) p = 100.0;
   if (mode_ == Mode::kBucketed) {
+    // Empty histograms report 0 for every quantile, matching exact mode.
     return static_cast<Duration>(hist_.percentile(p));
   }
   if (samples_.empty()) return 0;
@@ -64,21 +70,37 @@ double LatencyStats::mean() const {
   return sum / static_cast<double>(samples_.size());
 }
 
+TimeSeries::TimeSeries(Duration bucket_width, std::size_t max_buckets)
+    : bucket_(bucket_width), max_buckets_(max_buckets) {
+  if (bucket_width <= 0) {
+    throw std::invalid_argument("TimeSeries: bucket_width must be > 0");
+  }
+  if (max_buckets == 0) {
+    throw std::invalid_argument("TimeSeries: max_buckets must be > 0");
+  }
+}
+
 void TimeSeries::add(Time at, double value) {
   if (at < 0) return;
-  auto idx = static_cast<std::size_t>(at / bucket_);
-  if (idx >= buckets_.size()) buckets_.resize(idx + 1);
-  buckets_[idx].sum += value;
-  buckets_[idx].count += 1;
+  auto idx = static_cast<std::uint64_t>(at / bucket_);
+  auto it = buckets_.find(idx);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= max_buckets_) {
+      ++dropped_;
+      return;
+    }
+    it = buckets_.emplace(idx, Bucket{}).first;
+  }
+  it->second.sum += value;
+  it->second.count += 1;
 }
 
 std::vector<TimeSeries::Point> TimeSeries::points() const {
   std::vector<Point> out;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    if (buckets_[i].count == 0) continue;
-    out.push_back(Point{static_cast<Time>(i) * bucket_,
-                        buckets_[i].sum / static_cast<double>(buckets_[i].count),
-                        buckets_[i].count});
+  out.reserve(buckets_.size());
+  for (const auto& [idx, b] : buckets_) {
+    out.push_back(Point{static_cast<Time>(idx) * bucket_,
+                        b.sum / static_cast<double>(b.count), b.count});
   }
   return out;
 }

@@ -2,7 +2,9 @@
 // series (for the adaptability timeline) and CPU utilization sampling.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -54,9 +56,20 @@ class LatencyStats {
 
 /// Averages samples into fixed-width time buckets (paper Figure 10 reports
 /// average response time over wall-clock time).
+///
+/// Storage is sparse (one map node per non-empty bucket) and capped at
+/// `max_buckets` distinct buckets, so a single far-future timestamp costs
+/// one node instead of resizing a dense array to gigabytes — open-loop
+/// runs with multi-hour horizons stay bounded. Samples that would create a
+/// bucket beyond the cap are counted in dropped() instead of recorded.
 class TimeSeries {
  public:
-  explicit TimeSeries(Duration bucket_width) : bucket_(bucket_width) {}
+  static constexpr std::size_t kDefaultMaxBuckets = 1 << 20;
+
+  /// Throws std::invalid_argument unless bucket_width > 0 (a zero width
+  /// used to divide by zero on the first add).
+  explicit TimeSeries(Duration bucket_width,
+                      std::size_t max_buckets = kDefaultMaxBuckets);
 
   void add(Time at, double value);
 
@@ -67,13 +80,20 @@ class TimeSeries {
   };
   [[nodiscard]] std::vector<Point> points() const;
 
+  /// Non-empty buckets currently stored.
+  [[nodiscard]] std::size_t bucket_nodes() const { return buckets_.size(); }
+  /// Samples discarded because they addressed a new bucket past the cap.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
  private:
   struct Bucket {
     double sum = 0;
     std::size_t count = 0;
   };
   Duration bucket_;
-  std::vector<Bucket> buckets_;
+  std::size_t max_buckets_;
+  std::map<std::uint64_t, Bucket> buckets_;  // bucket index -> aggregate
+  std::size_t dropped_ = 0;
 };
 
 /// Utilization of a single-core CPU over a measurement window.
@@ -85,10 +105,19 @@ struct CpuWindow {
     window_start = now;
     busy_at_start = busy_accum;
   }
+  /// Clamped to [0, 100]: a skipped begin() or overlapping windows can make
+  /// the raw ratio negative or exceed the window (busy time accrued before
+  /// window_start), and reports feed capacity models that assume a
+  /// percentage. busy_accum must be monotone across one window.
   [[nodiscard]] double utilization(Time now, Duration busy_accum) const {
+    assert(busy_accum >= busy_at_start && "busy_accum must not run backwards");
     Duration elapsed = now - window_start;
     if (elapsed <= 0) return 0.0;
-    return 100.0 * static_cast<double>(busy_accum - busy_at_start) / static_cast<double>(elapsed);
+    double u = 100.0 * static_cast<double>(busy_accum - busy_at_start) /
+               static_cast<double>(elapsed);
+    if (u < 0.0) return 0.0;
+    if (u > 100.0) return 100.0;
+    return u;
   }
 };
 

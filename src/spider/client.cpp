@@ -52,9 +52,20 @@ void SpiderClient::switch_group(ClientGroupInfo group) {
   }
 }
 
-void SpiderClient::submit_ordered(OpKind kind, Bytes op, OpCallback cb) {
-  queue_.push_back(OrderedOp{kind, std::move(op), std::move(cb)});
+void SpiderClient::submit_ordered(OpKind kind, Bytes op, OpCallback cb, bool open,
+                                  Time enqueued) {
+  queue_.push_back(OrderedOp{kind, std::move(op), std::move(cb),
+                             enqueued >= 0 ? enqueued : now(), open});
   if (!in_flight_) start_next();
+}
+
+void SpiderClient::fire(OpKind kind, Bytes op, OpCallback cb) {
+  if (kind == OpKind::WeakRead ||
+      (kind == OpKind::StrongRead && group_.direct_strong_reads)) {
+    submit_direct(kind, std::move(op), std::move(cb), /*open=*/true);
+  } else {
+    submit_ordered(kind, std::move(op), std::move(cb), /*open=*/true);
+  }
 }
 
 void SpiderClient::start_next() {
@@ -128,8 +139,8 @@ void SpiderClient::weak_read(Bytes op, OpCallback cb) {
   submit_direct(OpKind::WeakRead, std::move(op), std::move(cb));
 }
 
-void SpiderClient::submit_direct(OpKind kind, Bytes op, OpCallback cb) {
-  weak_queue_.push_back(WeakOp{std::move(op), std::move(cb), kind});
+void SpiderClient::submit_direct(OpKind kind, Bytes op, OpCallback cb, bool open) {
+  weak_queue_.push_back(WeakOp{std::move(op), std::move(cb), kind, now(), open});
   if (!weak_in_flight_) start_weak();
 }
 
@@ -178,7 +189,9 @@ void SpiderClient::arm_weak_retry() {
                  obs::request_id(id(), weak_counter_, /*weak=*/true), "request",
                  "direct", "fallback", 1);
       }
-      submit_ordered(OpKind::Write, std::move(op.op), std::move(op.cb));
+      // An open op keeps its original sojourn stamp across the fallback.
+      submit_ordered(OpKind::Write, std::move(op.op), std::move(op.cb), op.open,
+                     op.enqueued);
       start_weak();
       return;
     }
@@ -282,7 +295,7 @@ void SpiderClient::handle_reply(NodeId from, Reader& r) {
                  obs::request_id(id(), weak_counter_, /*weak=*/true), "request",
                  "direct");
       }
-      op.cb(std::move(out), latency);
+      op.cb(std::move(out), op.open ? now() - op.enqueued : latency);
       start_weak();  // next queued weak read, if any
     }
     return;
@@ -305,7 +318,7 @@ void SpiderClient::handle_reply(NodeId from, Reader& r) {
       t->async(obs::Ph::kAsyncEnd, now(), id(), obs::request_id(id(), tc_),
                "request", "ordered");
     }
-    op.cb(std::move(out), latency);
+    op.cb(std::move(out), op.open ? now() - op.enqueued : latency);
     start_next();
   }
 }

@@ -60,6 +60,28 @@ class SpiderClient : public ComponentHost {
   }
   void weak_read(Bytes op, OpCallback cb);
 
+  /// Fire-and-record submission for open-loop load generation: the op
+  /// enters this client's pipeline immediately and the arrival process
+  /// never waits for a reply. Unlike write()/weak_read(), whose callbacks
+  /// report *service* latency (reply time minus transmission start), the
+  /// callback here reports *sojourn* latency — completion minus this
+  /// submission, including any time the op queued behind earlier ops on
+  /// this client. Under overload that queueing is exactly the signal a
+  /// closed-loop harness hides (coordinated omission), so open-loop
+  /// drivers must use this path. Kind routing matches the named entry
+  /// points: WeakRead (and StrongRead under direct_strong_reads) take the
+  /// direct path, everything else the ordered path. Ops cancelled by
+  /// cancel_pending() lose the sojourn stamp on resubmit; router-managed
+  /// deployments measure sojourn at the router instead.
+  void fire(OpKind kind, Bytes op, OpCallback cb);
+
+  /// Ops queued or in flight on this client, ordered + direct paths (the
+  /// in-flight op stays in its queue until completion). Open-loop drivers
+  /// report the max depth as a saturation symptom.
+  [[nodiscard]] std::size_t queue_depth() const {
+    return queue_.size() + weak_queue_.size();
+  }
+
   /// Submits an admin reconfiguration command through the write path.
   void reconfig(const ReconfigCmd& cmd, OpCallback cb) {
     submit_ordered(OpKind::Reconfig, cmd.encode(), std::move(cb));
@@ -98,9 +120,12 @@ class SpiderClient : public ComponentHost {
     OpKind kind;
     Bytes op;
     OpCallback cb;
+    Time enqueued = 0;  // submission time (sojourn reference for open ops)
+    bool open = false;  // fire(): report sojourn, not service latency
   };
 
-  void submit_ordered(OpKind kind, Bytes op, OpCallback cb);
+  void submit_ordered(OpKind kind, Bytes op, OpCallback cb, bool open = false,
+                      Time enqueued = -1);
   void start_next();
   Duration retry_jitter(Duration base);
   void arm_retry();
@@ -138,8 +163,10 @@ class SpiderClient : public ComponentHost {
     Bytes op;
     OpCallback cb;
     OpKind kind = OpKind::WeakRead;
+    Time enqueued = 0;
+    bool open = false;
   };
-  void submit_direct(OpKind kind, Bytes op, OpCallback cb);
+  void submit_direct(OpKind kind, Bytes op, OpCallback cb, bool open = false);
   std::deque<WeakOp> weak_queue_;
   bool weak_in_flight_ = false;
   Duration weak_retry_cur_ = 0;  // current backoff interval for the direct op

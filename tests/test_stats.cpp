@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "sim/stats.hpp"
 
 namespace spider {
@@ -101,6 +104,57 @@ TEST(LatencyStats, BucketedClearResets) {
   EXPECT_EQ(s.median(), 7);
 }
 
+TEST(LatencyStats, OutOfRangePercentileClamped) {
+  // p outside [0, 100] used to compute a negative exact-mode rank whose
+  // size_t cast indexed out of bounds; both modes now clamp.
+  LatencyStats exact(LatencyStats::Mode::kExact);
+  for (Duration v : {10, 20, 30}) exact.add(v);
+  EXPECT_EQ(exact.percentile(-10), 10);
+  EXPECT_EQ(exact.percentile(250), 30);
+
+  LatencyStats bucketed;
+  for (Duration v : {10, 20, 30}) bucketed.add(v);
+  EXPECT_EQ(bucketed.percentile(-10), 10);
+  EXPECT_EQ(bucketed.percentile(250), 30);
+}
+
+TEST(LatencyStats, EmptyBucketedPercentileIsZero) {
+  LatencyStats s;  // default = bucketed
+  EXPECT_EQ(s.percentile(-5), 0);
+  EXPECT_EQ(s.percentile(50), 0);
+  EXPECT_EQ(s.percentile(1000), 0);
+}
+
+TEST(TimeSeries, InvalidConstructionThrows) {
+  EXPECT_THROW(TimeSeries(0), std::invalid_argument);    // divided by zero on add
+  EXPECT_THROW(TimeSeries(-10), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(10, 0), std::invalid_argument);
+}
+
+TEST(TimeSeries, FarFutureTimestampStaysBounded) {
+  // A single far-future sample used to resize the dense bucket vector to
+  // gigabytes; sparse storage costs one node per touched bucket.
+  TimeSeries ts(1000);
+  ts.add(std::numeric_limits<Time>::max() - 1, 1.0);
+  ts.add(0, 2.0);
+  EXPECT_EQ(ts.bucket_nodes(), 2u);
+  EXPECT_EQ(ts.dropped(), 0u);
+  auto pts = ts.points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].bucket_start, 0);
+  EXPECT_DOUBLE_EQ(pts[0].average, 2.0);
+}
+
+TEST(TimeSeries, DistinctBucketCapDropsOverflow) {
+  TimeSeries ts(10, /*max_buckets=*/4);
+  for (int i = 0; i < 6; ++i) ts.add(i * 10, 1.0);
+  EXPECT_EQ(ts.bucket_nodes(), 4u);
+  EXPECT_EQ(ts.dropped(), 2u);
+  ts.add(5, 7.0);  // existing buckets still accept samples at the cap
+  EXPECT_EQ(ts.dropped(), 2u);
+  EXPECT_EQ(ts.points().front().count, 2u);
+}
+
 TEST(TimeSeries, BucketsAverages) {
   TimeSeries ts(1000);
   ts.add(0, 10);
@@ -136,6 +190,14 @@ TEST(CpuWindow, Utilization) {
   // 300us busy over 1000us elapsed -> 30%
   EXPECT_DOUBLE_EQ(w.utilization(2000, 800), 30.0);
   EXPECT_DOUBLE_EQ(w.utilization(1000, 800), 0.0);  // zero elapsed guard
+}
+
+TEST(CpuWindow, UtilizationClampedTo100) {
+  // Overlapping windows (busy accrued before window_start was rebased) used
+  // to report >100%; reports feed capacity models that assume a percentage.
+  CpuWindow w;
+  w.begin(1000, 500);
+  EXPECT_DOUBLE_EQ(w.utilization(1100, 800), 100.0);  // busy 300 > elapsed 100
 }
 
 TEST(FormatMs, Formats) {
