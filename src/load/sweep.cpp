@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "net/loopback_transport.hpp"
+#include "net/realtime.hpp"
 #include "shard/sharded_system.hpp"
 #include "sim/world.hpp"
 #include "spider/system.hpp"
@@ -36,6 +38,17 @@ RateRow run_point(const SweepConfig& cfg, double rate) {
   World world(cfg.seed);
   OpenLoopProfile profile = cfg.profile;
   profile.rate = rate;
+
+  // Socket backend (optional): must be installed before any SimNode exists
+  // and must outlive the deployment (nodes detach through it on teardown) —
+  // hence declared before `single`/`sharded` below.
+  std::unique_ptr<net::LoopbackTransport> sock;
+  std::unique_ptr<net::RealtimeDriver> driver;
+  if (cfg.loopback) {
+    sock = std::make_unique<net::LoopbackTransport>();
+    world.install_transport(sock.get());
+    driver = std::make_unique<net::RealtimeDriver>(world, *sock);
+  }
 
   // Deployments and pools must outlive the runner (completion callbacks),
   // so they are declared before it and torn down after run() returns.

@@ -33,6 +33,13 @@ struct SweepConfig {
   std::uint64_t seed = 42;
   OpenLoopProfile profile;  ///< per-point profile; `rate` is overridden
   bool capture_snapshots = false;  ///< store each point's registry snapshot
+  /// Run every point over real loopback sockets (net::LoopbackTransport +
+  /// net::RealtimeDriver) instead of the deterministic sim network. One
+  /// virtual microsecond then tracks one wall microsecond, so the measure
+  /// window costs real time and rows are no longer byte-deterministic —
+  /// but modeled CPU costs still bound throughput, so the ladder finds a
+  /// real saturation knee on a socket-backed deployment.
+  bool loopback = false;
 };
 
 struct RateRow {

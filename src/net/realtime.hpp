@@ -1,0 +1,61 @@
+// Bridges the virtual-time event queue and the wall clock.
+//
+// The sim's protocol stack runs entirely on World's discrete-event queue:
+// modeled CPU costs (signing, verification, per-message processing) are
+// charged as virtual-time delays, and every timer is a queue event. On the
+// socket backend messages travel over real fds instead of scheduled
+// delivery events, so someone has to (a) advance the virtual clock and
+// (b) pump the reactor. RealtimeDriver does both: it anchors a base pair
+// (virtual time, wall time) at each run_until call and then interleaves
+//
+//   virtual-now = base_virtual + wall-microseconds-elapsed
+//   queue.run_until(min(virtual-now, target))   // due protocol work
+//   transport.poll(until next event or target)  // socket readiness
+//
+// so one virtual microsecond == one wall microsecond for the duration of
+// the call. Modeled CPU costs therefore still bound throughput ("modeled
+// CPU, real wire"), which is what makes an open-loop saturation knee
+// findable on a loopback deployment.
+//
+// Installing the driver hooks World::run_until/run_for via
+// World::set_run_driver, so existing harnesses (OpenLoopRunner,
+// SpiderSystem warm-up loops) drive a socket-backed deployment unmodified.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+#include "common/time.hpp"
+#include "net/loopback_transport.hpp"
+#include "sim/world.hpp"
+
+namespace spider::net {
+
+class RealtimeDriver {
+ public:
+  /// Installs itself as `world`'s run driver. Both references must outlive
+  /// the driver; the destructor restores pure discrete-event execution.
+  RealtimeDriver(World& world, LoopbackTransport& transport);
+  ~RealtimeDriver();
+
+  RealtimeDriver(const RealtimeDriver&) = delete;
+  RealtimeDriver& operator=(const RealtimeDriver&) = delete;
+
+  /// Advances the world to virtual time `target` (the World::run_until
+  /// path), pumping the reactor while waiting for virtual time to elapse.
+  void run_until_virtual(Time target);
+
+  /// Pumps until `pred()` holds, or `wall_budget` elapses (returns false).
+  /// The virtual clock advances with the wall clock exactly as in
+  /// run_until_virtual. For tests: "run until this reply arrived".
+  bool run_until(const std::function<bool()>& pred,
+                 std::chrono::milliseconds wall_budget);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  World& world_;
+  LoopbackTransport& transport_;
+};
+
+}  // namespace spider::net

@@ -1,0 +1,65 @@
+#include "net/tcp_framer.hpp"
+
+#include <cstring>
+
+namespace spider::net {
+
+namespace {
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+}  // namespace
+
+Bytes frame_prologue(NodeId from, std::size_t payload_size, std::size_t max_frame) {
+  if (payload_size + 4 > max_frame) {
+    throw SerdeError("tcp frame payload exceeds max frame size");
+  }
+  Writer w(8);
+  w.u32(static_cast<std::uint32_t>(payload_size + 4));
+  w.u32(from);
+  return std::move(w).take();
+}
+
+void FrameDecoder::feed(BytesView data) {
+  // Compact the consumed prefix before growing the buffer, so steady-state
+  // memory stays bounded by one frame regardless of how long the stream
+  // runs.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  // Validate the declared length as soon as the header is complete — before
+  // buffering the body — so a hostile 4-byte header can never make us
+  // allocate max_frame bytes of garbage, let alone more.
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  if (buf_.size() >= 4) {
+    const std::uint32_t len = read_le32(buf_.data());
+    if (len < 4) throw SerdeError("tcp frame declares length < header");
+    if (len > max_frame_) throw SerdeError("tcp frame declares oversized length");
+  }
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  const std::uint32_t len = read_le32(buf_.data() + pos_);
+  // feed() validated the *first* header; frames after it are validated
+  // here, when their header surfaces at the front of the buffer.
+  if (len < 4) throw SerdeError("tcp frame declares length < header");
+  if (len > max_frame_) throw SerdeError("tcp frame declares oversized length");
+  if (avail < 4u + len) return std::nullopt;
+
+  Frame f;
+  f.from = read_le32(buf_.data() + pos_ + 4);
+  f.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 8),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4u + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return f;
+}
+
+}  // namespace spider::net

@@ -1,0 +1,71 @@
+// Length-prefixed framing for the ordered/control TCP channel.
+//
+// Wire format, little-endian, one frame per protocol message:
+//
+//   [u32 len][u32 from][len - 4 bytes payload]
+//
+// `len` counts everything after the length word (sender id + payload), so
+// a structurally valid frame always declares len >= 4. The decoder is the
+// adversarial surface of the socket backend — it consumes bytes straight
+// off a TCP stream that a Byzantine peer controls — so it is hardened to
+// the same bar as ShardMap::decode: a violated bound surfaces SerdeError
+// (the connection is then closed) and buffering is capped by the declared
+// maximum frame size; truncation (mid-frame close) is detected, never
+// crashes, and garbage never triggers unbounded allocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/serde.hpp"
+
+namespace spider::net {
+
+/// Upper bound on a frame's declared length (sender id + payload). Large
+/// checkpoint/state-transfer messages stay comfortably below this; a
+/// declared length above it is treated as a protocol violation rather
+/// than an allocation request.
+constexpr std::size_t kDefaultMaxFrame = 16u * 1024 * 1024;
+
+struct Frame {
+  NodeId from = 0;
+  Bytes payload;
+};
+
+/// Encodes the 8-byte prologue ([len][from]) for a frame carrying
+/// `payload_size` bytes; the payload itself is written separately (zero
+/// copy from the refcounted Payload buffer). Throws SerdeError when the
+/// payload would exceed `max_frame`.
+Bytes frame_prologue(NodeId from, std::size_t payload_size,
+                     std::size_t max_frame = kDefaultMaxFrame);
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame = kDefaultMaxFrame)
+      : max_frame_(max_frame) {}
+
+  /// Appends raw stream bytes. Throws SerdeError as soon as a declared
+  /// length violates the protocol (len < 4, or len > max_frame); the
+  /// caller must then discard the decoder and close the connection.
+  void feed(BytesView data);
+
+  /// Pops the next complete frame, or nullopt when more bytes are needed.
+  std::optional<Frame> next();
+
+  /// True when the stream stopped mid-frame (bytes buffered, or a header
+  /// partially read): a close now is a dirty close, surfaced by the
+  /// transport as a dropped-connection error, never as a partial message.
+  [[nodiscard]] bool mid_frame() const { return buf_.size() > pos_; }
+
+  /// Bytes currently buffered (bounded by max_frame + header).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_;
+  Bytes buf_;          // unconsumed stream bytes
+  std::size_t pos_ = 0;  // consumed prefix of buf_ (compacted lazily)
+};
+
+}  // namespace spider::net

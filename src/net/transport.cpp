@@ -1,0 +1,13 @@
+#include "net/transport.hpp"
+
+namespace spider {
+
+const char* traffic_class_name(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kOrdered: return "ordered";
+    case TrafficClass::kUnordered: return "unordered";
+  }
+  return "?";
+}
+
+}  // namespace spider

@@ -81,6 +81,12 @@ void EventQueue::maybe_compact() {
   }
 }
 
+std::optional<Time> EventQueue::next_time() {
+  drop_dead_root();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().at;
+}
+
 bool EventQueue::run_next() {
   drop_dead_root();
   if (heap_.empty()) return false;

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -55,6 +56,11 @@ class EventQueue {
   [[nodiscard]] std::uint64_t scheduled_total() const { return scheduled_; }
   [[nodiscard]] std::uint64_t fired_total() const { return fired_; }
   [[nodiscard]] std::uint64_t cancelled_total() const { return cancelled_; }
+
+  /// Timestamp of the earliest live event, or nullopt when none is
+  /// pending. Sweeps tombstones off the root (behaviour-neutral); realtime
+  /// drivers use this to bound how long they may block on socket readiness.
+  [[nodiscard]] std::optional<Time> next_time();
 
   /// Runs the earliest event; returns false if none pending.
   bool run_next();

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
-#include "sim/node.hpp"
 
 namespace spider {
 
@@ -15,7 +14,7 @@ std::uint64_t pair_key(NodeId from, NodeId to) {
 
 SimNetwork::SimNetwork(EventQueue& queue, Rng rng) : queue_(queue), rng_(rng) {}
 
-void SimNetwork::attach(SimNode* node) { nodes_[node->id()] = node; }
+void SimNetwork::attach(TransportEndpoint* node) { nodes_[node->id()] = node; }
 
 void SimNetwork::detach(NodeId id) {
   if (nodes_.erase(id) > 0) ++incarnation_[id];
@@ -50,15 +49,17 @@ void SimNetwork::set_link_filter(std::function<bool(NodeId, NodeId)> filter) {
   filter_ = std::move(filter);
 }
 
-void SimNetwork::send(NodeId from, NodeId to, Payload payload) {
+void SimNetwork::send(NodeId from, NodeId to, Payload payload, TrafficClass /*cls*/) {
+  // The traffic class is a socket-backend concern: the sim models one
+  // reliable FIFO channel per pair for all classes (see header).
   auto from_it = nodes_.find(from);
   auto to_it = nodes_.find(to);
   if (from_it == nodes_.end() || to_it == nodes_.end()) return;
   if (is_down(from) || is_down(to)) return;
   if (filter_ && !filter_(from, to)) return;
 
-  SimNode* src = from_it->second;
-  SimNode* dst = to_it->second;
+  TransportEndpoint* src = from_it->second;
+  TransportEndpoint* dst = to_it->second;
   const std::size_t size = payload.size();
   const bool wan = is_wan(src->site(), dst->site());
 
@@ -106,11 +107,6 @@ void SimNetwork::send(NodeId from, NodeId to, Payload payload) {
     if (is_down(to) || is_down(from)) return;
     it->second->deliver(from, std::move(msg));
   });
-}
-
-void SimNetwork::reset_stats() {
-  stats_.reset();
-  node_stats_.clear();
 }
 
 }  // namespace spider

@@ -1,6 +1,9 @@
 // Simulated network: point-to-point message delivery with geographic
 // latency, jitter, per-node bandwidth, fault injection and WAN/LAN byte
 // accounting (the paper's Figure 9d reports exactly these counters).
+//
+// SimNetwork is the deterministic implementation of the `Transport` seam
+// (src/net/transport.hpp); the epoll/socket backend is the other one.
 #pragma once
 
 #include <cstdint>
@@ -11,30 +14,15 @@
 #include "common/ids.hpp"
 #include "common/payload.hpp"
 #include "common/rng.hpp"
+#include "net/transport.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/topology.hpp"
 
 namespace spider {
 
-class SimNode;
 namespace obs {
 class Tracer;
 }
-
-struct LinkStats {
-  std::uint64_t wan_bytes = 0;
-  std::uint64_t lan_bytes = 0;
-  std::uint64_t wan_msgs = 0;
-  std::uint64_t lan_msgs = 0;
-
-  void reset() { *this = LinkStats{}; }
-};
-
-struct PerNodeNetStats {
-  std::uint64_t sent_wan_bytes = 0;
-  std::uint64_t sent_lan_bytes = 0;
-  std::uint64_t recv_bytes = 0;
-};
 
 /// Per-message fault effects produced by a fault shaper (see FaultPlan):
 /// a cut link drops deterministically, `loss` drops i.i.d. with the
@@ -45,30 +33,30 @@ struct LinkFault {
   Duration extra_delay = 0;
 };
 
-class SimNetwork {
+class SimNetwork final : public Transport {
  public:
   SimNetwork(EventQueue& queue, Rng rng);
 
-  void attach(SimNode* node);
-  void detach(NodeId id);
+  void attach(TransportEndpoint* node) override;
+  void detach(NodeId id) override;
 
+  using Transport::send;
   /// Sends `payload` from `from` to `to`. Messages between distinct node
   /// pairs are independent; messages on the same (from, to) pair are
-  /// delivered FIFO (reliable ordered channel, as the paper assumes).
+  /// delivered FIFO (reliable ordered channel, as the paper assumes) —
+  /// regardless of traffic class: the sim models one reliable channel per
+  /// pair, so `cls` only affects the socket backend.
   /// The payload is refcounted, not copied: a multicast that passes the
   /// same Payload for every destination shares one buffer across all
   /// in-flight deliveries.
-  void send(NodeId from, NodeId to, Payload payload);
-  void send(NodeId from, NodeId to, Bytes payload) {
-    send(from, to, Payload(std::move(payload)));
-  }
+  void send(NodeId from, NodeId to, Payload payload, TrafficClass cls) override;
 
   // ---- fault injection ------------------------------------------------
   /// Drops every message for which the filter returns false.
   void set_link_filter(std::function<bool(NodeId from, NodeId to)> filter);
   /// A "down" node neither sends nor receives (crash fault).
-  void set_node_down(NodeId id, bool down);
-  [[nodiscard]] bool is_down(NodeId id) const;
+  void set_node_down(NodeId id, bool down) override;
+  [[nodiscard]] bool is_down(NodeId id) const override;
 
   /// Fault shaper consulted *in addition to* the user link filter (the two
   /// stack; neither replaces the other). Installed by FaultPlan to express
@@ -98,11 +86,6 @@ class SimNetwork {
   /// RNG or alters delivery.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
-  // ---- accounting ------------------------------------------------------
-  LinkStats& stats() { return stats_; }
-  PerNodeNetStats& node_stats(NodeId id) { return node_stats_[id]; }
-  void reset_stats();
-
   /// Per-node NIC bandwidth in bytes per microsecond (default ~0.6 Gbit/s
   /// sustained, matching a t3.small-class instance).
   double bandwidth_bytes_per_us = 75.0;
@@ -114,7 +97,7 @@ class SimNetwork {
  private:
   EventQueue& queue_;
   Rng rng_;
-  std::unordered_map<NodeId, SimNode*> nodes_;
+  std::unordered_map<NodeId, TransportEndpoint*> nodes_;
   std::unordered_map<NodeId, bool> down_;
   std::unordered_map<NodeId, std::uint64_t> incarnation_;
   std::unordered_map<NodeId, double> bw_factor_;
@@ -124,8 +107,6 @@ class SimNetwork {
   std::function<bool(NodeId, NodeId)> filter_;
   FaultShaper fault_shaper_;
   obs::Tracer* tracer_ = nullptr;
-  LinkStats stats_;
-  std::unordered_map<NodeId, PerNodeNetStats> node_stats_;
 };
 
 }  // namespace spider

@@ -17,12 +17,12 @@ const char* cpu_cat_name(CpuCat cat) {
 }
 
 SimNode::SimNode(World& world, NodeId id, Site site) : world_(world), id_(id), site_(site) {
-  world_.net().attach(this);
+  world_.transport().attach(this);
 }
 
 SimNode::~SimNode() {
   *alive_ = false;
-  world_.net().detach(id_);
+  world_.transport().detach(id_);
 }
 
 Time SimNode::now() const { return world_.queue().now(); }
@@ -97,11 +97,11 @@ void SimNode::run_task(std::function<void()> logic, Duration base_cost) {
   // Outputs leave the node once the CPU work is done. A node destroyed
   // (crashed) before that point never got its messages onto the wire.
   if (!outbox_.empty()) {
-    std::vector<std::pair<NodeId, Payload>> out = std::move(outbox_);
+    std::vector<Outgoing> out = std::move(outbox_);
     outbox_.clear();
     world_.queue().schedule_at(busy_until_, [this, alive = alive_, out = std::move(out)]() mutable {
       if (!*alive) return;
-      for (auto& [to, data] : out) world_.net().send(id_, to, std::move(data));
+      for (Outgoing& o : out) world_.transport().send(id_, o.to, std::move(o.data), o.cls);
     });
   }
 }
@@ -124,14 +124,14 @@ void SimNode::charge_hash(std::size_t nbytes) {
          CpuCat::kCrypto);
 }
 
-void SimNode::send_to(NodeId to, Payload data) {
+void SimNode::send_to(NodeId to, Payload data, TrafficClass cls) {
   const CryptoCosts& c = crypto().costs();
   charge(c.proc_per_msg / 2 + c.proc_per_kb * static_cast<Duration>(data.size()) / 1024,
          CpuCat::kSerde);
   if (in_task_) {
-    outbox_.emplace_back(to, std::move(data));
+    outbox_.push_back(Outgoing{to, std::move(data), cls});
   } else {
-    world_.net().send(id_, to, std::move(data));
+    world_.transport().send(id_, to, std::move(data), cls);
   }
 }
 

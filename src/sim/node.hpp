@@ -15,6 +15,7 @@
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/payload.hpp"
+#include "net/transport.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/topology.hpp"
 
@@ -37,16 +38,16 @@ enum class CpuCat : std::uint8_t {
 inline constexpr std::size_t kCpuCatCount = 4;
 const char* cpu_cat_name(CpuCat cat);
 
-class SimNode {
+class SimNode : public TransportEndpoint {
  public:
   SimNode(World& world, NodeId id, Site site);
-  virtual ~SimNode();
+  ~SimNode() override;
 
   SimNode(const SimNode&) = delete;
   SimNode& operator=(const SimNode&) = delete;
 
-  [[nodiscard]] NodeId id() const { return id_; }
-  [[nodiscard]] Site site() const { return site_; }
+  [[nodiscard]] NodeId id() const override { return id_; }
+  [[nodiscard]] Site site() const override { return site_; }
   World& world() { return world_; }
   [[nodiscard]] Time now() const;
   CryptoProvider& crypto();
@@ -54,8 +55,8 @@ class SimNode {
   /// Protocol logic: called once per inbound message, on the CPU.
   virtual void on_message(NodeId from, BytesView data) = 0;
 
-  /// Network entry point (schedules CPU handling; do not call from logic).
-  void deliver(NodeId from, Payload data);
+  /// Transport entry point (schedules CPU handling; do not call from logic).
+  void deliver(NodeId from, Payload data) override;
 
   // ---- usable from within handlers ------------------------------------
   /// Adds CPU work to the current task (delays this task's outputs and all
@@ -72,9 +73,13 @@ class SimNode {
   /// Queues a message; it leaves this node when the current task's CPU work
   /// is done (or immediately if called outside a task). The Payload form is
   /// zero-copy: a multicast that passes the same Payload per destination
-  /// shares one serialized buffer end-to-end.
-  void send_to(NodeId to, Payload data);
-  void send_to(NodeId to, Bytes data) { send_to(to, Payload(std::move(data))); }
+  /// shares one serialized buffer end-to-end. `cls` picks the wire on the
+  /// socket backend (UDP for kUnordered, framed TCP otherwise); the sim
+  /// delivers both classes over the same reliable FIFO channel.
+  void send_to(NodeId to, Payload data, TrafficClass cls = TrafficClass::kOrdered);
+  void send_to(NodeId to, Bytes data, TrafficClass cls = TrafficClass::kOrdered) {
+    send_to(to, Payload(std::move(data)), cls);
+  }
 
   /// The wire message currently being handled (set while on_message runs;
   /// null inside timer tasks). Lets handlers reuse the inbound buffer's
@@ -150,7 +155,12 @@ class SimNode {
   bool in_task_ = false;
   Duration task_charge_ = 0;
   const Payload* current_msg_ = nullptr;
-  std::vector<std::pair<NodeId, Payload>> outbox_;
+  struct Outgoing {
+    NodeId to;
+    Payload data;
+    TrafficClass cls;
+  };
+  std::vector<Outgoing> outbox_;
 };
 
 }  // namespace spider

@@ -8,6 +8,7 @@ World::World(std::uint64_t seed, std::unique_ptr<CryptoProvider> crypto)
     : rng_(seed),
       crypto_(crypto ? std::move(crypto) : std::make_unique<FastCrypto>(seed)) {
   net_ = std::make_unique<SimNetwork>(queue_, rng_.fork());
+  transport_ = net_.get();
   payload_digest_base_ = payload_digest_computations_total();
 }
 
@@ -39,7 +40,7 @@ void World::refresh_platform_metrics() {
       queue_.cancelled_total() - metrics_.counter("eventqueue_cancelled").value());
   metrics_.gauge("eventqueue_pending").set(static_cast<std::int64_t>(queue_.pending()));
 
-  const LinkStats& ls = net_->stats();
+  const LinkStats& ls = transport_->stats();
   metrics_.gauge("net_wan_bytes").set(static_cast<std::int64_t>(ls.wan_bytes));
   metrics_.gauge("net_lan_bytes").set(static_cast<std::int64_t>(ls.lan_bytes));
   metrics_.gauge("net_wan_msgs").set(static_cast<std::int64_t>(ls.wan_msgs));

@@ -3,6 +3,7 @@
 // given seed.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,13 +24,36 @@ class World {
   explicit World(std::uint64_t seed, std::unique_ptr<CryptoProvider> crypto = nullptr);
 
   EventQueue& queue() { return queue_; }
+  /// The deterministic sim network. Always constructed (it is the default
+  /// transport); fault-injection APIs (FaultPlan, link filters, down
+  /// nodes) live here. When a custom transport is installed the sim
+  /// network is idle — nothing attaches to it.
   SimNetwork& net() { return *net_; }
+  /// The transport seam every node attaches and sends through: the sim
+  /// network by default, or whatever install_transport() put in place.
+  Transport& transport() { return *transport_; }
   CryptoProvider& crypto() { return *crypto_; }
   Rng& rng() { return rng_; }
 
+  /// Routes all node attach/send traffic through `t` instead of the sim
+  /// network (e.g. a socket-backed LoopbackTransport). Must be called
+  /// before any SimNode is constructed on this World; `t` must outlive the
+  /// World's nodes. Pass nullptr to restore the sim network.
+  void install_transport(Transport* t) { transport_ = t ? t : net_.get(); }
+
+  /// Hook driving run_until/run_for: a realtime transport installs a pump
+  /// here (net::RealtimeDriver) so virtual time tracks the wall clock and
+  /// socket readiness between events. Null (the default) = pure
+  /// discrete-event execution on the queue.
+  using RunDriver = std::function<void(Time)>;
+  void set_run_driver(RunDriver d) { run_driver_ = std::move(d); }
+
   [[nodiscard]] Time now() const { return queue_.now(); }
-  void run_until(Time t) { queue_.run_until(t); }
-  void run_for(Duration d) { queue_.run_for(d); }
+  void run_until(Time t) {
+    if (run_driver_) run_driver_(t);
+    else queue_.run_until(t);
+  }
+  void run_for(Duration d) { run_until(queue_.now() + d); }
   void run_all(std::size_t max_events = 100'000'000) { queue_.run_all(max_events); }
 
   /// Allocates a fresh process id.
@@ -67,6 +91,8 @@ class World {
   Rng rng_;
   std::unique_ptr<CryptoProvider> crypto_;
   std::unique_ptr<SimNetwork> net_;
+  Transport* transport_ = nullptr;  // active seam; defaults to net_.get()
+  RunDriver run_driver_;
   NodeId next_id_ = 1;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::Tracer> tracer_;

@@ -120,7 +120,7 @@ void SpiderClient::arm_retry() {
   });
 }
 
-void SpiderClient::transmit_framed(const Bytes& frame) {
+void SpiderClient::transmit_framed(const Bytes& frame, TrafficClass cls) {
   Bytes auth = tagged(tags::kClient, frame);  // shared across replicas
   for (NodeId replica : group_.members) {
     charge_mac();
@@ -129,11 +129,13 @@ void SpiderClient::transmit_framed(const Bytes& frame) {
     w.u32(tags::kClient);
     w.raw(frame);
     w.raw(mac);
-    send_to(replica, Payload(std::move(w)));
+    send_to(replica, Payload(std::move(w)), cls);
   }
 }
 
-void SpiderClient::transmit_current() { transmit_framed(current_wire_); }
+void SpiderClient::transmit_current() {
+  transmit_framed(current_wire_, TrafficClass::kOrdered);
+}
 
 void SpiderClient::weak_read(Bytes op, OpCallback cb) {
   submit_direct(OpKind::WeakRead, std::move(op), std::move(cb));
@@ -244,7 +246,7 @@ void SpiderClient::resubmit(PendingOp op) {
 
 void SpiderClient::transmit_weak() {
   ClientRequest req{weak_queue_.front().kind, id(), weak_counter_, weak_queue_.front().op};
-  transmit_framed(ClientFrame{std::move(req), {}}.encode());
+  transmit_framed(ClientFrame{std::move(req), {}}.encode(), TrafficClass::kUnordered);
 }
 
 void SpiderClient::on_message(NodeId from, BytesView data) {

@@ -131,8 +131,11 @@ class SpiderClient : public ComponentHost {
   void arm_retry();
   void transmit_current();
   /// MAC-framed [kClient][frame][mac] fan-out to the whole group; the
-  /// domain-separated auth bytes are computed once and shared.
-  void transmit_framed(const Bytes& frame);
+  /// domain-separated auth bytes are computed once and shared. Ordered
+  /// requests ride the reliable control channel; the direct path (weak
+  /// reads, optimized strong reads) is retried and idempotent, so it rides
+  /// the unordered datagram channel on the socket backend.
+  void transmit_framed(const Bytes& frame, TrafficClass cls);
   void start_weak();
   void arm_weak_retry();
   void transmit_weak();

@@ -342,7 +342,11 @@ void ExecutionReplica::reply_to(NodeId client, std::uint64_t counter, BytesView 
   Bytes mac = crypto().mac(id(), client, tagged(tags::kClient, body));
   Bytes wire = std::move(body);
   wire.insert(wire.end(), mac.begin(), mac.end());
-  send_to(client, tagged(tags::kClient, wire));
+  // Weak (direct-path) replies are idempotent and client-retried, so they
+  // ride the unordered datagram channel on the socket backend; ordered
+  // replies stay on the reliable control channel.
+  send_to(client, tagged(tags::kClient, wire),
+          weak ? TrafficClass::kUnordered : TrafficClass::kOrdered);
 }
 
 void ExecutionReplica::maybe_checkpoint() {
