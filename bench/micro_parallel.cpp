@@ -1,0 +1,277 @@
+// Deterministic parallel runtime: thread-ladder scaling + byte-identity.
+//
+// Two micros, both walked over the thread ladder {1, 2, 4, 8}:
+//
+//   1. World ladder — the micro_sharding 4-shard saturating write workload
+//      with the parallel runtime enabled at each thread count. Virtual-time
+//      results (completed ops, goodput, prefetch counters) must be
+//      BYTE-IDENTICAL across the ladder: threading changes wall-clock time
+//      only. Wall time is reported as a speedup ratio against threads=1.
+//   2. Verify saturation — RealCrypto RSA verifications pushed straight
+//      through the VerifyPool in epoch-sized waves (submit a wave, join in
+//      submit order), isolating pool scaling from event-loop machinery.
+//      This is where the scaling contract lives: the world ladder is
+//      Amdahl-bound by the sequential event loop, the saturation micro is
+//      embarrassingly parallel.
+//
+// --gate (CI) enforces, hardware-adaptively via hardware_concurrency():
+//   - determinism: identical world-ladder rows at every thread count (hard,
+//     unconditional — this is the tentpole contract);
+//   - >= 4 cores: saturation speedup at 4 threads >= 2.5x, world ladder at
+//     4 threads no slower than 1.0x;
+//   - 2-3 cores: saturation >= 1.2x, world >= 0.85x;
+//   - 1 core: overhead bounds only — threading cannot win wall time where
+//     there is no second core, so require both ratios >= 0.5x (threads must
+//     not cost more than 2x the inline run).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "bench/harness.hpp"
+#include "crypto/provider.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/verify_pool.hpp"
+#include "shard/sharded_system.hpp"
+
+namespace spider::bench {
+namespace {
+
+constexpr const char* kTrajectory = "BENCH_pr10.json";
+constexpr unsigned kLadder[] = {1, 2, 4, 8};
+
+double wall_seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// ---- world ladder ---------------------------------------------------------
+
+struct WorldRow {
+  unsigned threads = 0;
+  double wall_s = 0;  // schedule-dependent
+  // Everything below is deterministic and must match across the ladder.
+  std::uint64_t completed = 0;
+  double virt_ops_s = 0;
+  std::uint64_t prefetch_submitted = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t epochs = 0;
+
+  [[nodiscard]] bool same_results(const WorldRow& o) const {
+    return completed == o.completed && virt_ops_s == o.virt_ops_s &&
+           prefetch_submitted == o.prefetch_submitted && prefetch_hits == o.prefetch_hits &&
+           epochs == o.epochs;
+  }
+};
+
+/// The micro_sharding saturating write workload at 4 shards, parallel
+/// runtime on. Shorter window than micro_sharding: the ladder runs it four
+/// times and only the *ratio* between runs matters here.
+WorldRow run_world(unsigned threads) {
+  const auto t0 = std::chrono::steady_clock::now();
+  World world(4242);
+  runtime::ParallelRuntime& rt = world.enable_parallelism(threads);
+
+  ShardedTopology topo;
+  topo.shards = 4;
+  topo.base.exec_regions = {Region::Virginia, Region::Ohio};
+  topo.base.commit_capacity = 128;
+  topo.base.ag_win = 128;
+  ShardedSpiderSystem sys(world, topo);
+
+  const Time measure_from = 1 * kSecond;
+  const Time stop_at = 2 * kSecond;
+  const int total_clients = 24 * 4;
+
+  struct Ctx {
+    std::unique_ptr<ShardedClient> client;
+    std::uint64_t key_seq = 0;
+  };
+  std::vector<Ctx> ctxs;
+  for (int i = 0; i < total_clients; ++i) {
+    Region r = (i % 2 == 0) ? Region::Virginia : Region::Ohio;
+    ctxs.push_back(Ctx{sys.make_client(Site{r, static_cast<std::uint8_t>(i % 3)}), 0});
+  }
+
+  std::uint64_t completed = 0;
+  const Duration interval = 2 * kMillisecond;
+  std::function<void(std::size_t, Duration)> schedule = [&](std::size_t i, Duration delay) {
+    world.queue().schedule_after(delay, [&, i] {
+      if (world.now() >= stop_at) return;
+      Ctx& c = ctxs[i];
+      std::string key = "c" + std::to_string(i) + "-k" + std::to_string(c.key_seq++ % 32);
+      c.client->put(key, payload_200b(), [&](Bytes, Duration) {
+        if (world.now() >= measure_from && world.now() < stop_at) ++completed;
+      });
+      schedule(i, interval);
+    });
+  };
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    schedule(i, static_cast<Duration>(i) * interval / static_cast<Duration>(ctxs.size() + 1));
+  }
+  world.run_until(stop_at);
+
+  WorldRow row;
+  row.threads = threads;
+  row.completed = completed;
+  row.virt_ops_s = static_cast<double>(completed) /
+                   (static_cast<double>(stop_at - measure_from) / kSecond);
+  row.prefetch_submitted = rt.prefetch_submitted();
+  row.prefetch_hits = rt.prefetch_hits();
+  row.epochs = rt.epochs();
+  row.wall_s = wall_seconds(t0);
+  return row;
+}
+
+// ---- verify saturation ----------------------------------------------------
+
+/// Pushes `waves` x `wave_size` RSA verifications through a VerifyPool with
+/// `threads - 1` workers, joining each wave in submit order (the runtime's
+/// epoch pattern). Returns wall verifies/s. Signatures are prepared outside
+/// the timed region; verifier closures are resolved on this thread exactly
+/// as ParallelRuntime::note_send resolves them.
+double run_saturation(unsigned threads, RealCrypto& crypto, const std::vector<Bytes>& msgs,
+                      const std::vector<Bytes>& sigs, std::size_t waves) {
+  const std::size_t wave_size = msgs.size();
+  runtime::VerifyPool pool(threads - 1);
+  std::vector<runtime::VerifyPool::JobRef> jobs(wave_size);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t verified = 0;
+  for (std::size_t w = 0; w < waves; ++w) {
+    for (std::size_t i = 0; i < wave_size; ++i) {
+      auto fn = crypto.make_sig_verifier(static_cast<NodeId>(1 + i % 4), BytesView(msgs[i]),
+                                         BytesView(sigs[i]));
+      jobs[i] = pool.submit([fn = std::move(fn)](runtime::VerifyPool::Job& job) { job.ok = fn(); },
+                            static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t i = 0; i < wave_size; ++i) {
+      pool.join(jobs[i]);
+      if (jobs[i]->ok) ++verified;
+    }
+  }
+  const double secs = wall_seconds(t0);
+  if (verified != waves * wave_size) {
+    std::printf("FAIL: %zu of %zu verifications rejected a valid signature\n",
+                waves * wave_size - verified, waves * wave_size);
+    std::exit(1);
+  }
+  return static_cast<double>(verified) / secs;
+}
+
+}  // namespace
+}  // namespace spider::bench
+
+int main(int argc, char** argv) {
+  using namespace spider;
+  using namespace spider::bench;
+
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+    else {
+      std::printf("usage: %s [--gate]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("Parallel runtime thread ladder (host has %u core%s)\n", hw, hw == 1 ? "" : "s");
+
+  // ---- world ladder ----
+  std::printf("\n4-shard write workload, parallel runtime:\n");
+  std::printf("%-8s %10s %14s %12s %10s\n", "threads", "wall s", "virt ops/s", "prefetch",
+              "speedup");
+  std::vector<WorldRow> rows;
+  for (unsigned t : kLadder) {
+    rows.push_back(run_world(t));
+    const WorldRow& r = rows.back();
+    const double speedup = rows.front().wall_s / r.wall_s;
+    std::printf("%-8u %10.2f %14.0f %12llu %9.2fx\n", r.threads, r.wall_s, r.virt_ops_s,
+                static_cast<unsigned long long>(r.prefetch_submitted), speedup);
+    bench_json("micro_parallel", "world wall s threads=" + std::to_string(t), r.wall_s, "s",
+               4242, kTrajectory);
+    bench_json("micro_parallel", "world virt ops/s threads=" + std::to_string(t), r.virt_ops_s,
+               "ops/s", 4242, kTrajectory);
+  }
+
+  bool identical = true;
+  for (const WorldRow& r : rows) {
+    if (!r.same_results(rows.front())) {
+      identical = false;
+      std::printf(
+          "DETERMINISM VIOLATION at threads=%u: completed %llu vs %llu, prefetch %llu/%llu vs "
+          "%llu/%llu, epochs %llu vs %llu\n",
+          r.threads, static_cast<unsigned long long>(r.completed),
+          static_cast<unsigned long long>(rows.front().completed),
+          static_cast<unsigned long long>(r.prefetch_submitted),
+          static_cast<unsigned long long>(r.prefetch_hits),
+          static_cast<unsigned long long>(rows.front().prefetch_submitted),
+          static_cast<unsigned long long>(rows.front().prefetch_hits),
+          static_cast<unsigned long long>(r.epochs),
+          static_cast<unsigned long long>(rows.front().epochs));
+    }
+  }
+  std::printf("deterministic results across ladder: %s\n", identical ? "yes" : "NO");
+
+  // ---- verify saturation ----
+  std::printf("\nRSA verify saturation through VerifyPool (512-bit keys):\n");
+  std::printf("%-8s %14s %10s\n", "threads", "verifies/s", "speedup");
+  RealCrypto crypto(4242, 512);
+  const std::size_t wave_size = 64;
+  const std::size_t waves = 8;
+  std::vector<Bytes> msgs;
+  std::vector<Bytes> sigs;
+  for (std::size_t i = 0; i < wave_size; ++i) {
+    msgs.emplace_back(200, static_cast<std::uint8_t>(i));
+    sigs.push_back(crypto.sign(static_cast<NodeId>(1 + i % 4), BytesView(msgs.back())));
+  }
+  double sat_base = 0;
+  double sat_at4 = 0;
+  for (unsigned t : kLadder) {
+    const double vps = run_saturation(t, crypto, msgs, sigs, waves);
+    if (t == 1) sat_base = vps;
+    if (t == 4) sat_at4 = vps;
+    std::printf("%-8u %14.0f %9.2fx\n", t, vps, sat_base > 0 ? vps / sat_base : 0.0);
+    bench_json("micro_parallel", "verify/s threads=" + std::to_string(t), vps, "ops/s", 4242,
+               kTrajectory);
+  }
+
+  if (!gate) return identical ? 0 : 1;
+
+  // ---- gate ----
+  bool ok = identical;
+  if (!identical) std::printf("GATE: world ladder results differ across thread counts\n");
+
+  const double world_at4 = rows.front().wall_s / rows[2].wall_s;  // kLadder[2] == 4
+  const double sat_speedup = sat_base > 0 ? sat_at4 / sat_base : 0.0;
+  double need_sat = 0.5;
+  double need_world = 0.5;
+  if (hw >= 4) {
+    need_sat = 2.5;
+    need_world = 1.0;
+  } else if (hw >= 2) {
+    need_sat = 1.2;
+    need_world = 0.85;
+  }
+  if (sat_speedup < need_sat) {
+    std::printf("GATE: verify saturation speedup %.2fx at 4 threads < %.2fx (hw=%u)\n",
+                sat_speedup, need_sat, hw);
+    ok = false;
+  }
+  if (world_at4 < need_world) {
+    std::printf("GATE: world ladder ratio %.2fx at 4 threads < %.2fx (hw=%u)\n", world_at4,
+                need_world, hw);
+    ok = false;
+  }
+  if (!ok) {
+    std::printf("FAIL: parallel runtime gate violated\n");
+    return 1;
+  }
+  std::printf("OK: byte-identical ladder, saturation %.2fx, world %.2fx (hw=%u)\n", sat_speedup,
+              world_at4, hw);
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
+#include "runtime/parallel.hpp"
 #include "sim/world.hpp"
 
 namespace spider {
@@ -67,11 +68,18 @@ void PbftReplica::broadcast(BytesView inner, bool sign) {
     }
   } else {
     // Per-pair MACs differ, but the domain-separated auth bytes are shared.
+    // The per-recipient HMACs are independent, so they scatter across the
+    // verify pool and join in recipient order (bit-identical to the loop).
     Bytes auth = auth_bytes(inner);
+    std::vector<NodeId> dests;
+    dests.reserve(cfg_.n());
     for (std::uint32_t i = 0; i < cfg_.n(); ++i) {
-      if (i == cfg_.my_index) continue;
+      if (i != cfg_.my_index) dests.push_back(cfg_.replicas[i]);
+    }
+    std::vector<Bytes> macs = runtime::compute_macs(host().world(), self(), auth, dests);
+    for (std::size_t i = 0; i < dests.size(); ++i) {
       host().charge_mac();
-      send_framed(cfg_.replicas[i], inner, crypto().mac(self(), cfg_.replicas[i], auth));
+      send_framed(dests[i], inner, macs[i]);
     }
   }
 }
@@ -85,12 +93,12 @@ void PbftReplica::send_authed(std::uint32_t idx, BytesView inner) {
 
 bool PbftReplica::check_mac(NodeId from, BytesView inner, BytesView tag_bytes) {
   host().charge_mac();
-  return crypto().verify_mac(from, self(), auth_bytes(inner), tag_bytes);
+  return host().check_auth_frame(from, tag(), inner, tag_bytes, /*is_sig=*/false);
 }
 
 bool PbftReplica::check_sig(NodeId from, BytesView inner, BytesView sig) {
   host().charge_verify();
-  return crypto().verify(from, auth_bytes(inner), sig);
+  return host().check_auth_frame(from, tag(), inner, sig, /*is_sig=*/true);
 }
 
 void PbftReplica::on_message(NodeId from, Reader& r) {

@@ -150,7 +150,7 @@ void RcSender::on_message(NodeId from, Reader& r) {
   BytesView body = all.subspan(0, all.size() - mac_len);
   BytesView tag = all.subspan(all.size() - mac_len);
   host().charge_mac();
-  if (!crypto().verify_mac(from, self(), auth_bytes(body), tag)) return;
+  if (!host().check_auth_frame(from, Component::tag(), body, tag, /*is_sig=*/false)) return;
 
   Reader br(body);
   br.u8();
@@ -352,7 +352,7 @@ void RcReceiver::on_message(NodeId from, Reader& r) {
     BytesView body = all.subspan(0, all.size() - sig_len);
     BytesView sig = all.subspan(all.size() - sig_len);
     host().charge_verify();
-    if (!crypto().verify(from, auth_bytes(body), sig)) return;
+    if (!host().check_auth_frame(from, Component::tag(), body, sig, /*is_sig=*/true)) return;
 
     Reader br(body);
     br.u8();
@@ -375,7 +375,7 @@ void RcReceiver::on_message(NodeId from, Reader& r) {
     BytesView body = all.subspan(0, all.size() - mac_len);
     BytesView tag = all.subspan(all.size() - mac_len);
     host().charge_mac();
-    if (!crypto().verify_mac(from, self(), auth_bytes(body), tag)) return;
+    if (!host().check_auth_frame(from, Component::tag(), body, tag, /*is_sig=*/false)) return;
 
     Reader br(body);
     br.u8();

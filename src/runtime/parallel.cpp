@@ -1,0 +1,241 @@
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+
+#include "consensus/pbft_messages.hpp"
+#include "crypto/hmac.hpp"
+#include "irmc/messages.hpp"
+#include "sim/component.hpp"
+#include "sim/world.hpp"
+
+namespace spider::runtime {
+
+namespace {
+
+/// FIFO-evicted prefetch-table capacity. Entries for messages that were
+/// dropped in flight (loss windows, partitions, crashed recipients) are
+/// never consumed; the cap bounds how long their buffers stay pinned.
+constexpr std::size_t kTableCap = 1 << 14;
+
+std::uint32_t frame_tag(const std::uint8_t* d) {
+  // Writer::u32 is little-endian (see common/serde.hpp).
+  return static_cast<std::uint32_t>(d[0]) | static_cast<std::uint32_t>(d[1]) << 8 |
+         static_cast<std::uint32_t>(d[2]) << 16 | static_cast<std::uint32_t>(d[3]) << 24;
+}
+
+/// Trailer rule per tag namespace: what will the receiver verify on this
+/// frame? Mirrors the dispatch in PbftReplica/Rc*/Sc*/Checkpointer/
+/// SpiderClient/ExecutionReplica::on_message. Unknown namespaces (registry,
+/// HFT baseline) report not prefetchable and stay on the inline path.
+bool trailer_rule(std::uint32_t tag, std::uint8_t type, bool& is_sig) {
+  switch (tag & 0xff000000u) {
+    case tags::kPbft:
+      is_sig = type == static_cast<std::uint8_t>(pbft::MsgType::ViewChange) ||
+               type == static_cast<std::uint8_t>(pbft::MsgType::NewView);
+      return true;
+    case tags::kIrmc:
+      is_sig = type == static_cast<std::uint8_t>(irmc::MsgType::Send) ||
+               type == static_cast<std::uint8_t>(irmc::MsgType::SigShare) ||
+               type == static_cast<std::uint8_t>(irmc::MsgType::Certificate);
+      return true;
+    case tags::kClient:
+      // Both directions ([ClientFrame] requests and replies) end in a MAC;
+      // the *inner* request signature is over re-encoded bytes and is
+      // batch-verified at the call site instead (verify_sigs).
+      is_sig = false;
+      return true;
+    case tags::kCheckpoint:
+      // Checkpointer::MsgType::Checkpoint votes are signed; Fetch/State
+      // carry no outer trailer.
+      is_sig = true;
+      return type == 1;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ParallelRuntime::ParallelRuntime(World& world, unsigned threads, Duration epoch_len)
+    : world_(world), pool_(threads > 1 ? threads - 1 : 0), epoch_len_(std::max<Duration>(epoch_len, 1)) {}
+
+ParallelRuntime::~ParallelRuntime() = default;
+
+void ParallelRuntime::drive(Time target) {
+  EventQueue& q = world_.queue();
+  // Epoch loop: the queue is the single source of event order — epochs only
+  // bound how much virtual time passes between barriers, they never reorder
+  // events (run_until commits strictly in (time, id) order either way).
+  do {
+    const Time stop = std::min(target, q.now() + epoch_len_);
+    q.run_until(stop);
+    ++epochs_;
+    fold_metrics();
+    evict_over_cap();
+  } while (q.now() < target);
+}
+
+void ParallelRuntime::note_send(NodeId from, NodeId to, const Payload& frame) {
+  const std::size_t n = frame.size();
+  if (n < 5) return;
+  const std::uint8_t* d = frame.data();
+  bool is_sig = false;
+  if (!trailer_rule(frame_tag(d), d[4], is_sig)) return;
+
+  CryptoProvider& cp = world_.crypto();
+  const std::size_t auth_len = is_sig ? cp.signature_size() : cp.mac_size();
+  if (n <= 4 + auth_len) return;
+  const std::size_t msg_len = n - auth_len;
+
+  // Signature entries drop the recipient from the key: the verdict is a
+  // function of (signer, bytes) only, so every recipient of a multicast
+  // that shares this buffer consumes one job.
+  const Key key{d, msg_len, from, is_sig ? 0 : to};
+  if (table_.count(key) > 0) return;  // already prefetched (retransmit / fan-out)
+
+  const BytesView msg(d, msg_len);
+  const BytesView auth(d + msg_len, auth_len);
+  VerifyPool::JobRef job;
+  const std::uint32_t domain = world_.domain_of(to);
+  // Each closure owns a refcount on the wire buffer (`pin`): FIFO eviction
+  // or runtime teardown may drop the table entry while a worker is still
+  // reading the bytes, so the job must keep them alive itself.
+  if (is_sig) {
+    // Key material resolves on this (simulation) thread; the closure is
+    // pure and worker-safe by the provider contract.
+    std::function<bool()> v = cp.make_sig_verifier(from, msg, auth);
+    if (!v) return;
+    job = pool_.submit(
+        [v = std::move(v), pin = frame](VerifyPool::Job& j) { j.ok = v(); }, domain);
+  } else {
+    const HmacKey* ks = cp.mac_schedule(from, to);
+    if (ks == nullptr) return;
+    job = pool_.submit(
+        [ks, msg, auth, pin = frame](VerifyPool::Job& j) {
+          j.ok = mac_equal(hmac_tag(*ks, msg), auth);
+        },
+        domain);
+  }
+  insert(key, frame, std::move(job), domain);
+}
+
+void ParallelRuntime::insert(Key key, const Payload& frame, VerifyPool::JobRef job,
+                             std::uint32_t domain) {
+  const std::uint64_t seq = next_seq_++;
+  table_.emplace(key, Entry{std::move(job), frame, seq});
+  fifo_.emplace_back(key, seq);
+  ++total_submitted_;
+  if (domains_.size() <= domain) domains_.resize(domain + 1);
+  ++domains_[domain].submitted;
+  evict_over_cap();
+}
+
+void ParallelRuntime::evict_over_cap() {
+  while (table_.size() > kTableCap && !fifo_.empty()) {
+    auto [key, seq] = fifo_.front();
+    fifo_.pop_front();
+    auto it = table_.find(key);
+    // Seq guard: the slot may have been consumed and re-inserted for a
+    // fresh message that reused the same buffer address.
+    if (it != table_.end() && it->second.seq == seq) table_.erase(it);
+  }
+}
+
+std::optional<bool> ParallelRuntime::take_verdict(const std::uint8_t* frame_data,
+                                                  std::size_t msg_len, NodeId from, NodeId to,
+                                                  bool is_sig) {
+  auto it = table_.find(Key{frame_data, msg_len, from, is_sig ? 0 : to});
+  if (it == table_.end()) return std::nullopt;
+  pool_.join(*it->second.job);
+  const bool ok = it->second.job->ok;
+  ++total_hits_;
+  const std::uint32_t domain = world_.domain_of(to);
+  if (domains_.size() <= domain) domains_.resize(domain + 1);
+  ++domains_[domain].hits;
+  // MAC entries are single-consumer (per-pair trailer): release the buffer
+  // pin now. Signature entries stay for the multicast's other recipients
+  // and age out through the FIFO cap.
+  if (!is_sig) table_.erase(it);
+  return ok;
+}
+
+void ParallelRuntime::fold_metrics() {
+  for (std::uint32_t d = 0; d < domains_.size(); ++d) {
+    DomainStats& s = domains_[d];
+    if (std::uint64_t delta = s.submitted - s.folded_submitted) {
+      world_.metrics()
+          .counter("verify_prefetch_submitted", {.node = 0, .shard = d, .role = "runtime"})
+          .inc(delta);
+      s.folded_submitted = s.submitted;
+    }
+    if (std::uint64_t delta = s.hits - s.folded_hits) {
+      world_.metrics()
+          .counter("verify_prefetch_hits", {.node = 0, .shard = d, .role = "runtime"})
+          .inc(delta);
+      s.folded_hits = s.hits;
+    }
+  }
+}
+
+std::vector<char> verify_sigs(World& world, const std::vector<SigCheck>& checks) {
+  std::vector<char> out(checks.size(), 0);
+  CryptoProvider& cp = world.crypto();
+  ParallelRuntime* rt = world.parallelism();
+  if (rt == nullptr || checks.size() < 2) {
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      out[i] = cp.verify(checks[i].signer, checks[i].msg, checks[i].sig) ? 1 : 0;
+    }
+    return out;
+  }
+  // Scatter across workers (round-robin, not shard-affine: a certificate's
+  // shares should verify concurrently), then join in input order.
+  std::vector<VerifyPool::JobRef> jobs(checks.size());
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    std::function<bool()> v = cp.make_sig_verifier(checks[i].signer, checks[i].msg, checks[i].sig);
+    if (v) {
+      jobs[i] = rt->pool().submit([v = std::move(v)](VerifyPool::Job& j) { j.ok = v(); },
+                                  static_cast<std::uint32_t>(i));
+    }
+  }
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    if (jobs[i]) {
+      rt->pool().join(jobs[i]);
+      out[i] = jobs[i]->ok ? 1 : 0;
+    } else {
+      out[i] = cp.verify(checks[i].signer, checks[i].msg, checks[i].sig) ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+std::vector<Bytes> compute_macs(World& world, NodeId from, BytesView msg,
+                                const std::vector<NodeId>& recipients) {
+  std::vector<Bytes> out(recipients.size());
+  CryptoProvider& cp = world.crypto();
+  ParallelRuntime* rt = world.parallelism();
+  if (rt == nullptr || recipients.size() < 2) {
+    for (std::size_t i = 0; i < recipients.size(); ++i) {
+      out[i] = cp.mac(from, recipients[i], msg);
+    }
+    return out;
+  }
+  std::vector<VerifyPool::JobRef> jobs(recipients.size());
+  for (std::size_t i = 0; i < recipients.size(); ++i) {
+    const HmacKey* ks = cp.mac_schedule(from, recipients[i]);
+    if (ks != nullptr) {
+      jobs[i] = rt->pool().submit([ks, msg](VerifyPool::Job& j) { j.out = hmac_tag(*ks, msg); },
+                                  static_cast<std::uint32_t>(i));
+    }
+  }
+  for (std::size_t i = 0; i < recipients.size(); ++i) {
+    if (jobs[i]) {
+      rt->pool().join(jobs[i]);
+      out[i] = std::move(jobs[i]->out);
+    } else {
+      out[i] = cp.mac(from, recipients[i], msg);
+    }
+  }
+  return out;
+}
+
+}  // namespace spider::runtime

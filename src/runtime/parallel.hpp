@@ -1,0 +1,167 @@
+// Deterministic parallel runtime: crypto prefetch + epoch-driven execution.
+//
+// Everything observable in a run is a pure function of the seed because the
+// main thread commits events in exact (time, id) order — the same order the
+// single-threaded engine uses. Worker threads are only ever handed *pure*
+// work: verifying a MAC/signature over immutable wire bytes with key
+// material resolved up front. The result of pure work is independent of
+// where and when it runs, so offloading changes wall-clock time and nothing
+// else. See docs/determinism.md for the full argument.
+//
+// The runtime hooks the engine in three places:
+//
+//   1. note_send (called by SimNetwork after a message survives all drop
+//      decisions): peeks the wire frame's component tag + type byte,
+//      decides which trailer the receiver will verify (16-byte MAC vs
+//      signature), resolves the key schedule on the simulation thread, and
+//      submits the verification as a VerifyPool job — the simulated
+//      network's propagation delay becomes real overlap time.
+//   2. take_verdict (called by SimNode::check_auth_frame when the receive
+//      path reaches the verification the sequential code would do inline):
+//      joins the prefetched job and consumes its verdict. Signature
+//      verdicts are keyed per (buffer, signer) WITHOUT the recipient, so a
+//      multicast whose recipients share one refcounted frame verifies the
+//      signature ONCE for the whole fan-out — at every thread count,
+//      including 1 — while each recipient is still charged the modeled
+//      verify cost (simulated time is unchanged by construction).
+//   3. drive (installed as the World's run driver): advances the queue in
+//      bounded virtual-time epochs with a barrier between epochs that
+//      folds per-shard counters into the metrics registry and evicts
+//      prefetch entries whose messages were dropped in flight.
+//
+// A prefetch MISS (evicted entry, unknown tag namespace, provider without
+// worker-safe hooks) falls back to the inline computation and produces the
+// same bytes, so hits and misses are indistinguishable to the simulation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/payload.hpp"
+#include "common/time.hpp"
+#include "runtime/verify_pool.hpp"
+
+namespace spider {
+class World;
+}
+
+namespace spider::runtime {
+
+/// One signature to check in a batch (see verify_sigs).
+struct SigCheck {
+  NodeId signer = 0;
+  BytesView msg;
+  BytesView sig;
+};
+
+class ParallelRuntime {
+ public:
+  /// `threads` is the total thread budget including the simulation thread,
+  /// so `threads - 1` workers are spawned (threads=1 => fully inline pool;
+  /// prefetch dedup still applies). `epoch_len` bounds how far virtual
+  /// time advances between barriers.
+  ParallelRuntime(World& world, unsigned threads, Duration epoch_len = 500);
+  ~ParallelRuntime();
+
+  ParallelRuntime(const ParallelRuntime&) = delete;
+  ParallelRuntime& operator=(const ParallelRuntime&) = delete;
+
+  /// Run driver: advance to `target` in epoch_len-bounded steps with a
+  /// barrier after each epoch.
+  void drive(Time target);
+
+  /// Transport hook: may submit a verification job for `frame`'s trailer.
+  void note_send(NodeId from, NodeId to, const Payload& frame);
+
+  /// Consumes a prefetched verdict for the frame whose bytes start at
+  /// `frame_data` (message = [0, msg_len), trailer follows). nullopt on
+  /// miss; the caller then verifies inline. `to` is ignored for signatures
+  /// (multicast dedup).
+  std::optional<bool> take_verdict(const std::uint8_t* frame_data, std::size_t msg_len,
+                                   NodeId from, NodeId to, bool is_sig);
+
+  VerifyPool& pool() { return pool_; }
+  [[nodiscard]] unsigned threads() const { return pool_.workers() + 1; }
+  [[nodiscard]] Duration epoch_len() const { return epoch_len_; }
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+
+  /// Folds the deterministic per-shard prefetch counters into the World's
+  /// metrics registry under {shard, role="runtime"} labels. Called at every
+  /// epoch barrier and from World::refresh_platform_metrics(); the counts
+  /// are main-thread state, identical across thread counts.
+  void fold_metrics();
+
+  // Deterministic prefetch counters (test hooks).
+  [[nodiscard]] std::uint64_t prefetch_submitted() const { return total_submitted_; }
+  [[nodiscard]] std::uint64_t prefetch_hits() const { return total_hits_; }
+  [[nodiscard]] std::size_t table_size() const { return table_.size(); }
+
+ private:
+  struct Key {
+    const std::uint8_t* data;
+    std::size_t len;
+    NodeId from;
+    NodeId to;  // 0 for signature entries (recipient-independent)
+    bool operator==(const Key& o) const {
+      return data == o.data && len == o.len && from == o.from && to == o.to;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = std::hash<const void*>()(k.data);
+      h ^= k.len + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= (static_cast<std::size_t>(k.from) << 32 | k.to) + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+  struct Entry {
+    VerifyPool::JobRef job;
+    /// Pins the wire buffer while the entry is live, so the pointer-keyed
+    /// table can never alias a freed-and-reused address. The job's closure
+    /// holds its *own* pin — eviction must not free bytes a worker is
+    /// still reading.
+    Payload keepalive;
+    std::uint64_t seq;  // insertion generation, for FIFO eviction
+  };
+  struct DomainStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t folded_submitted = 0;
+    std::uint64_t folded_hits = 0;
+  };
+
+  void insert(Key key, const Payload& frame, VerifyPool::JobRef job, std::uint32_t domain);
+  void evict_over_cap();
+
+  World& world_;
+  VerifyPool pool_;
+  Duration epoch_len_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t total_submitted_ = 0;
+  std::uint64_t total_hits_ = 0;
+  std::unordered_map<Key, Entry, KeyHash> table_;
+  std::deque<std::pair<Key, std::uint64_t>> fifo_;  // (key, seq) insertion order
+  std::vector<DomainStats> domains_;
+};
+
+/// Batch signature verification with input-order verdicts, bit-identical to
+/// an inline `crypto().verify` loop. Fans out across the verify pool when
+/// the World has parallelism enabled; plain loop otherwise. Callers keep
+/// the viewed bytes alive until this returns (scatter-join inside one
+/// handler scope). Returns char, not bool, to dodge vector<bool>.
+std::vector<char> verify_sigs(World& world, const std::vector<SigCheck>& checks);
+
+/// Batch per-recipient MAC computation over a shared `msg`, in recipient
+/// order — the send-side scatter-join for multicasts whose per-pair MACs
+/// differ but share one domain-separated byte string. Bit-identical to an
+/// inline `crypto().mac` loop.
+std::vector<Bytes> compute_macs(World& world, NodeId from, BytesView msg,
+                                const std::vector<NodeId>& recipients);
+
+}  // namespace spider::runtime

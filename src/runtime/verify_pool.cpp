@@ -1,0 +1,89 @@
+#include "runtime/verify_pool.hpp"
+
+namespace spider::runtime {
+
+VerifyPool::VerifyPool(unsigned workers) {
+  queues_.reserve(workers);
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(*queues_[i]); });
+  }
+}
+
+VerifyPool::~VerifyPool() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& wq : queues_) {
+    std::lock_guard<std::mutex> lk(wq->mu);
+    wq->cv.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+  // Drain: unclaimed jobs are simply dropped — any joiner still holding a
+  // ref runs them inline via the claim CAS, so no result is ever lost.
+}
+
+bool VerifyPool::try_run(Job& job) {
+  std::uint8_t expected = Job::kPending;
+  if (!job.state.compare_exchange_strong(expected, Job::kClaimed,
+                                         std::memory_order_acquire,
+                                         std::memory_order_acquire)) {
+    return false;
+  }
+  job.fn(job);
+  job.state.store(Job::kDone, std::memory_order_release);
+  return true;
+}
+
+void VerifyPool::worker_loop(WorkerQueue& wq) {
+  for (;;) {
+    JobRef job;
+    {
+      std::unique_lock<std::mutex> lk(wq.mu);
+      wq.cv.wait(lk, [&] { return stop_.load(std::memory_order_relaxed) || !wq.q.empty(); });
+      if (wq.q.empty()) return;  // stop requested and nothing left
+      job = std::move(wq.q.front());
+      wq.q.pop_front();
+    }
+    if (try_run(*job)) ran_worker_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+VerifyPool::JobRef VerifyPool::submit(std::function<void(Job&)> fn, std::uint32_t domain) {
+  auto job = std::make_shared<Job>();
+  job->fn = std::move(fn);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (threads_.empty()) {
+    // Inline mode: compute now. state goes straight to kDone so join() is
+    // a single acquire load.
+    job->fn(*job);
+    job->state.store(Job::kDone, std::memory_order_release);
+    ran_inline_.fetch_add(1, std::memory_order_relaxed);
+    return job;
+  }
+  WorkerQueue& wq = *queues_[domain % queues_.size()];
+  {
+    std::lock_guard<std::mutex> lk(wq.mu);
+    wq.q.push_back(job);
+  }
+  wq.cv.notify_one();
+  return job;
+}
+
+void VerifyPool::join(Job& job) {
+  if (job.state.load(std::memory_order_acquire) == Job::kDone) return;
+  if (try_run(job)) {
+    // Stolen: the queue copy becomes a no-op when a worker reaches it.
+    ran_inline_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // A worker holds the claim; it is actively computing. Spin briefly, then
+  // yield — verification jobs are microseconds, so the claim window is
+  // short and a futex-grade primitive would cost more than it saves.
+  for (unsigned spins = 0; job.state.load(std::memory_order_acquire) != Job::kDone; ++spins) {
+    if (spins >= 64) std::this_thread::yield();
+  }
+}
+
+}  // namespace spider::runtime

@@ -1,0 +1,103 @@
+// Fixed-size worker pool for pure crypto work with deterministic joins.
+//
+// The simulation's determinism contract is that every observable byte is a
+// pure function of the seed. A conventional task pool breaks that the
+// moment task *completion order* can leak into protocol state. VerifyPool
+// avoids the problem structurally: jobs are closures over immutable inputs
+// (wire bytes kept alive by a refcounted Payload, const HMAC midstates,
+// const RSA public keys) that write only into their own Job slot. The main
+// simulation thread consumes a result exactly where the sequential code
+// would have computed it inline — and if the job has not been picked up by
+// a worker yet, join() claims and runs it inline on the spot. Either way
+// the bytes produced are bit-identical to the inline computation, so
+// thread count and OS scheduling can change *where* the work happened but
+// never *what* the simulation observed.
+//
+// Claim protocol (the whole synchronization story):
+//
+//   submit:  state = kPending, push to a worker deque, notify
+//   worker:  CAS kPending -> kClaimed | run fn | store kDone (release)
+//   join:    load (acquire): kDone?            -> return
+//            CAS kPending -> kClaimed succeeds -> run inline, store kDone
+//            else (a worker holds the claim)   -> spin/yield until kDone
+//
+// The release store of kDone sequences the job's result writes before the
+// joiner's acquire load, and the claim CAS makes execution exclusive, so
+// the pool is data-race-free by construction (the TSan job pins this).
+// Work-stealing join also guarantees progress on a single-core host: a
+// joiner never blocks on a worker that the OS has not scheduled.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spider::runtime {
+
+class VerifyPool {
+ public:
+  struct Job {
+    /// Pure computation: reads only state captured at submit time, writes
+    /// only the result fields of the Job it is handed (itself). Runs
+    /// exactly once (claim CAS).
+    std::function<void(Job&)> fn;
+    /// Result slots. `ok` carries verify/verify_mac verdicts; `out` carries
+    /// computed bytes (e.g. a MAC tag). Written by fn, read after join().
+    bool ok = false;
+    std::vector<std::uint8_t> out;
+
+    enum : std::uint8_t { kPending = 0, kClaimed = 1, kDone = 2 };
+    std::atomic<std::uint8_t> state{kPending};
+  };
+  using JobRef = std::shared_ptr<Job>;
+
+  /// `workers` = number of worker threads (0 = fully inline: submit runs
+  /// the closure immediately; join is then a no-op check).
+  explicit VerifyPool(unsigned workers);
+  ~VerifyPool();
+
+  VerifyPool(const VerifyPool&) = delete;
+  VerifyPool& operator=(const VerifyPool&) = delete;
+
+  /// Queues `fn` on the worker selected by `domain` (domain % workers —
+  /// shard-affine submission keeps one shard's verification stream on one
+  /// worker, which keeps key-schedule cache lines warm). Never blocks.
+  JobRef submit(std::function<void(Job&)> fn, std::uint32_t domain = 0);
+
+  /// Ensures the job's fn has run; returns with its results visible to the
+  /// caller. Steals the job inline when no worker has claimed it yet.
+  void join(Job& job);
+  void join(const JobRef& job) { join(*job); }
+
+  [[nodiscard]] unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  // ---- wall-clock diagnostics (schedule-dependent; never exported into
+  // deterministic snapshots — see docs/determinism.md) ------------------
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t ran_on_worker() const { return ran_worker_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t ran_inline() const { return ran_inline_.load(std::memory_order_relaxed); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<JobRef> q;
+  };
+  void worker_loop(WorkerQueue& wq);
+  static bool try_run(Job& job);  // claim CAS + fn + kDone; false if lost the claim
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> ran_worker_{0};
+  std::atomic<std::uint64_t> ran_inline_{0};
+};
+
+}  // namespace spider::runtime

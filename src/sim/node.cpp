@@ -1,7 +1,9 @@
 #include "sim/node.hpp"
 
+#include "common/serde.hpp"
 #include "crypto/provider.hpp"
 #include "obs/trace.hpp"
+#include "runtime/parallel.hpp"
 #include "sim/world.hpp"
 
 namespace spider {
@@ -49,6 +51,35 @@ void SimNode::deliver(NodeId from, Payload data) {
 Sha256Digest SimNode::hash_cached(BytesView sub) const {
   if (current_msg_ && current_msg_->contains(sub)) return current_msg_->digest_of(sub);
   return Sha256::hash(sub);
+}
+
+bool SimNode::check_auth_frame(NodeId from, std::uint32_t tag_word, BytesView body,
+                               BytesView auth, bool is_sig) {
+  // Fast path precondition: body/auth are the standard trailer split of the
+  // inbound frame [u32 tag][body][auth]. The auth bytes [tag][body] are
+  // then content-identical to the frame prefix, so verifying over the
+  // prefix view produces the same verdict without rebuilding — and matches
+  // the key the runtime prefetched under.
+  const Payload* frame = current_msg_;
+  if (frame != nullptr && frame->size() == 4 + body.size() + auth.size() &&
+      body.data() == frame->data() + 4 && auth.data() == body.data() + body.size()) {
+    const std::size_t msg_len = 4 + body.size();
+    const BytesView msg(frame->data(), msg_len);
+    if (auto* rt = world_.parallelism()) {
+      if (auto verdict = rt->take_verdict(frame->data(), msg_len, from, id_, is_sig)) {
+        return *verdict;
+      }
+    }
+    return is_sig ? crypto().verify(from, msg, auth)
+                  : crypto().verify_mac(from, id_, msg, auth);
+  }
+  // Detached bytes (callers verifying re-encoded content): rebuild the
+  // domain-separated string exactly as the legacy call sites did.
+  Writer w(4 + body.size());
+  w.u32(tag_word);
+  w.raw(body);
+  const Bytes msg = std::move(w).take();
+  return is_sig ? crypto().verify(from, msg, auth) : crypto().verify_mac(from, id_, msg, auth);
 }
 
 void SimNode::enqueue_task(std::function<void()> logic, Duration base_cost) {

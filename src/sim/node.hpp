@@ -92,6 +92,18 @@ class SimNode : public TransportEndpoint {
   /// call charge_hash() separately for the modeled CPU cost.
   [[nodiscard]] Sha256Digest hash_cached(BytesView sub) const;
 
+  /// Verifies an inbound frame's trailer: a signature by `from` (is_sig)
+  /// or a (from -> this) MAC, over the domain-separated bytes
+  /// [u32 tag_word][body]. Bit-identical to rebuilding those bytes and
+  /// calling crypto().verify / verify_mac — but when `body`/`auth` are the
+  /// standard slices of the message being handled ([tag][body][auth], the
+  /// layout every component's on_message produces), it consumes the
+  /// parallel runtime's prefetched verdict if one exists, and otherwise
+  /// verifies zero-copy over the frame prefix instead of re-allocating.
+  /// Call charge_mac()/charge_verify() separately, as before.
+  bool check_auth_frame(NodeId from, std::uint32_t tag_word, BytesView body, BytesView auth,
+                        bool is_sig);
+
   /// Retains `sub` beyond the current handler: a zero-copy slice of the
   /// inbound message when `sub` points into it, an owned copy otherwise.
   [[nodiscard]] Payload capture(BytesView sub) const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
+#include "runtime/parallel.hpp"
 #include "sim/world.hpp"
 
 namespace spider {
@@ -122,14 +123,17 @@ void SpiderClient::arm_retry() {
 
 void SpiderClient::transmit_framed(const Bytes& frame, TrafficClass cls) {
   Bytes auth = tagged(tags::kClient, frame);  // shared across replicas
-  for (NodeId replica : group_.members) {
+  // Per-replica MACs are independent: scatter them across the verify pool
+  // and join in member order (bit-identical to computing them in the loop).
+  std::vector<Bytes> macs = runtime::compute_macs(world(), id(), auth, group_.members);
+  for (std::size_t i = 0; i < group_.members.size(); ++i) {
     charge_mac();
-    Bytes mac = crypto().mac(id(), replica, auth);
+    const Bytes& mac = macs[i];
     Writer w(4 + frame.size() + mac.size());
     w.u32(tags::kClient);
     w.raw(frame);
     w.raw(mac);
-    send_to(replica, Payload(std::move(w)), cls);
+    send_to(group_.members[i], Payload(std::move(w)), cls);
   }
 }
 
@@ -269,7 +273,7 @@ void SpiderClient::handle_reply(NodeId from, Reader& r) {
   BytesView body = all.subspan(0, all.size() - mac_len);
   BytesView mac = all.subspan(all.size() - mac_len);
   charge_mac();
-  if (!crypto().verify_mac(from, id(), tagged(tags::kClient, body), mac)) return;
+  if (!check_auth_frame(from, tags::kClient, body, mac, /*is_sig=*/false)) return;
 
   Reader br(body);
   ReplyMsg reply = ReplyMsg::decode(br);

@@ -92,7 +92,7 @@ void ExecutionReplica::handle_client(NodeId from, Reader& r) {
   BytesView body = all.subspan(0, all.size() - mac_len);
   BytesView mac = all.subspan(all.size() - mac_len);
   charge_mac();
-  if (!crypto().verify_mac(from, id(), tagged(tags::kClient, body), mac)) return;
+  if (!check_auth_frame(from, tags::kClient, body, mac, /*is_sig=*/false)) return;
 
   Reader br(body);
   ClientFrame frame = ClientFrame::decode(br);

@@ -35,305 +35,11 @@
 #include "sim/world.hpp"
 #include "spider/system.hpp"
 #include "tests/support/chaos.hpp"
+#include "tests/support/chaos_runner.hpp"
 #include "tests/support/drive.hpp"
 
 namespace spider {
 namespace {
-
-enum class ChaosConfig : int { SpiderF1 = 0, SpiderF2 = 1, PbftBaseline = 2, Sharded2 = 3 };
-
-const char* config_name(ChaosConfig c) {
-  switch (c) {
-    case ChaosConfig::SpiderF1: return "spider_f1";
-    case ChaosConfig::SpiderF2: return "spider_f2";
-    case ChaosConfig::PbftBaseline: return "pbft_baseline";
-    case ChaosConfig::Sharded2: return "sharded_2";
-  }
-  return "?";
-}
-
-struct ChaosOutcome {
-  bool completed = false;      // every op (incl. final reads) got a reply
-  std::size_t pending = 0;
-  std::size_t total_ops = 0;
-  LinResult lin;
-  bool no_lost_writes = true;
-  std::string lost_diag;
-  std::string fault_script;    // human-readable (FaultPlan::describe)
-  std::string machine_script;  // replayable (FaultPlan::serialize_script)
-  std::string history_dump;
-  std::string history_text;    // replayable (HistoryRecorder::serialize_text)
-  Bytes history;
-  std::string flight_trace;    // Chrome-trace JSON of the final seconds
-};
-
-/// Flight-recorder window: every chaos run keeps a ring of recent trace
-/// events, and failure artifacts ship this much tail as a Perfetto-loadable
-/// JSON sibling — "what was the system doing right before it wedged".
-constexpr Time kFlightWindow = 5 * kSecond;
-
-/// Runs the common chaos phases once the config-specific setup produced
-/// client handles, fault targets and partition groups.
-struct ScenarioParts {
-  std::vector<chaos::ClientHandle> handles;
-  chaos::ClientHandle reader;  // used for the final per-key strong reads
-  std::vector<NodeId> crash_targets;
-  std::vector<std::vector<NodeId>> partition_groups;
-  std::uint32_t max_concurrent_crashes = 1;
-  std::size_t ops_per_client = 10;
-  // Byzantine sweep: candidate sets per role and the ≤f hard caps.
-  std::vector<std::vector<NodeId>> byz_consensus_groups;
-  std::vector<std::vector<NodeId>> byz_exec_groups;
-  std::uint32_t max_byz_consensus = 0;
-  std::uint32_t max_byz_exec = 0;
-  bool byzantine = false;
-  // Replay mode: schedule this serialized script instead of randomize().
-  const std::string* replay_script = nullptr;
-};
-
-ChaosOutcome drive_chaos(World& world, HistoryRecorder& hist, FaultPlan& plan,
-                         ScenarioParts parts) {
-  FaultPlan::ChaosProfile profile;
-  profile.crash_targets = std::move(parts.crash_targets);
-  profile.partition_groups = std::move(parts.partition_groups);
-  profile.start = 2 * kSecond;
-  profile.horizon = 18 * kSecond;
-  profile.actions = 5;
-  profile.max_concurrent_crashes = parts.max_concurrent_crashes;
-  if (parts.byzantine) {
-    profile.byz_consensus_groups = std::move(parts.byz_consensus_groups);
-    profile.byz_exec_groups = std::move(parts.byz_exec_groups);
-    profile.max_byz_per_consensus_group = parts.max_byz_consensus;
-    profile.max_byz_per_exec_group = parts.max_byz_exec;
-    profile.byz_actions = 4;
-  }
-  if (parts.replay_script != nullptr) {
-    // Mirror randomize()'s single World-RNG fork so the workload schedule
-    // drawn below stays bit-identical with the recorded run.
-    (void)world.rng().fork();
-    plan.schedule_script(*parts.replay_script);
-  } else {
-    plan.randomize(profile);
-  }
-
-  chaos::WorkloadOptions opt;
-  opt.ops_per_client = parts.ops_per_client;
-  opt.mean_gap = 900 * kMillisecond;
-  std::vector<std::string> keys = chaos::key_pool(6);
-  chaos::schedule_workload(world, parts.handles, keys, opt);
-
-  ChaosOutcome out;
-  out.fault_script = plan.describe();
-  out.machine_script = plan.serialize_script();
-
-  // Chaos phase: every fault ends by the horizon (restarts included).
-  world.run_until(profile.horizon + kSecond);
-  // Recovery phase: all in-flight operations must complete (clients retry
-  // forever; a recovered system answers them all).
-  drive::run_until(world, [&] { return hist.pending_count() == 0; }, 150 * kSecond);
-
-  // Verification phase: a final strong read per key pins the outcome of
-  // every acknowledged write into the checked history.
-  for (const std::string& k : keys) parts.reader.strong_get(k);
-  drive::run_until(world, [&] { return hist.pending_count() == 0; }, 60 * kSecond);
-
-  out.pending = hist.pending_count();
-  out.completed = out.pending == 0;
-  out.total_ops = hist.ops().size();
-  out.lin = check_kv_history(hist);
-
-  // "No acknowledged write is lost", checked directly: the workload never
-  // deletes, so a key with at least one acked Put must be found by its
-  // final strong read, and any value read must have been written.
-  const auto& ops = hist.ops();
-  for (const std::string& k : keys) {
-    bool acked_put = false;
-    for (const RecordedOp& op : ops) {
-      if (op.kind == HistOp::Put && op.key == k && op.responded) acked_put = true;
-    }
-    const RecordedOp* final_read = nullptr;
-    for (const RecordedOp& op : ops) {
-      if (op.client == 99 && op.key == k) final_read = &op;
-    }
-    if (final_read == nullptr || !final_read->responded) continue;  // caught by `completed`
-    if (acked_put && !final_read->ok) {
-      out.no_lost_writes = false;
-      out.lost_diag += "key " + k + ": acked put but final read missed; ";
-    }
-    if (final_read->ok) {
-      bool written = false;
-      for (const RecordedOp& op : ops) {
-        if (op.kind == HistOp::Put && op.key == k && op.arg == final_read->result) {
-          written = true;
-        }
-      }
-      if (!written) {
-        out.no_lost_writes = false;
-        out.lost_diag += "key " + k + ": final read returned a never-written value; ";
-      }
-    }
-  }
-
-  out.history_dump = hist.dump();
-  out.history_text = hist.serialize_text();
-  out.history = hist.serialize();
-  if (auto* t = world.tracer()) {
-    const Time end = world.now();
-    out.flight_trace =
-        obs::chrome_trace_json(*t, end > kFlightWindow ? end - kFlightWindow : 0, end);
-  }
-  return out;
-}
-
-ChaosOutcome run_chaos(ChaosConfig config, std::uint64_t seed, bool byzantine = false,
-                       const std::string* replay_script = nullptr) {
-  World world(seed);
-  // Flight recorder: a fixed-memory ring of recent trace events, always on
-  // for chaos runs. Recording is out-of-band (no RNG, no scheduling, no
-  // wire bytes), so the golden-pinned histories below are unaffected.
-  world.enable_tracing(obs::Tracer::Mode::kRing, 1 << 15);
-  HistoryRecorder hist(world);
-
-  switch (config) {
-    case ChaosConfig::SpiderF1:
-    case ChaosConfig::SpiderF2: {
-      SpiderTopology topo;
-      topo.ka = 8;
-      topo.ke = 8;
-      topo.ag_win = 32;
-      topo.commit_capacity = 16;
-      topo.client_retry = kSecond;
-      topo.request_timeout = kSecond;
-      topo.view_change_timeout = 2 * kSecond;
-      if (config == ChaosConfig::SpiderF2) {
-        topo.fa = 2;
-        topo.fe = 2;
-        topo.exec_regions = {Region::Virginia, Region::Oregon};
-      } else {
-        topo.exec_regions = {Region::Virginia, Region::Tokyo};
-      }
-      SpiderSystem sys(world, topo);
-      FaultPlan plan(world);
-      plan.on_crash = [&sys](NodeId n) { sys.crash_node(n); };
-      plan.on_restart = [&sys](NodeId n) { sys.restart_node(n); };
-      plan.on_byzantine = [&sys](NodeId n, const ByzantineFlags& f) { sys.set_byzantine(n, f); };
-
-      std::vector<std::unique_ptr<SpiderClient>> clients;
-      clients.push_back(sys.make_client(Site{Region::Virginia, 0}));
-      clients.push_back(sys.make_client(Site{topo.exec_regions.back(), 0}));
-      clients.push_back(sys.make_client(Site{Region::Oregon, 1}));
-
-      ScenarioParts parts;
-      parts.byzantine = byzantine;
-      parts.replay_script = replay_script;
-      for (std::size_t i = 0; i < clients.size(); ++i) {
-        parts.handles.push_back(chaos::ClientHandle::wrap(hist, *clients[i], i));
-      }
-      parts.reader = chaos::ClientHandle::wrap(hist, *clients[0], 99);
-      parts.crash_targets = sys.replica_ids();
-      parts.partition_groups.push_back(sys.agreement_ids());
-      for (GroupId g : sys.group_ids()) {
-        std::vector<NodeId> members;
-        for (std::size_t i = 0; i < sys.group_size(g); ++i) members.push_back(sys.exec(g, i).id());
-        parts.partition_groups.push_back(std::move(members));
-      }
-      // Threat-model caps: ≤fa Byzantine agreement replicas, ≤fe per
-      // execution group (partition_groups[0] is the agreement group, the
-      // rest are the execution groups).
-      parts.byz_consensus_groups = {sys.agreement_ids()};
-      parts.byz_exec_groups.assign(parts.partition_groups.begin() + 1,
-                                   parts.partition_groups.end());
-      parts.max_byz_consensus = topo.fa;
-      parts.max_byz_exec = topo.fe;
-      parts.max_concurrent_crashes = config == ChaosConfig::SpiderF2 ? 2 : 1;
-      return drive_chaos(world, hist, plan, std::move(parts));
-    }
-
-    case ChaosConfig::PbftBaseline: {
-      BftConfig cfg;
-      cfg.sites = {Site{Region::Virginia, 0}, Site{Region::Oregon, 0}, Site{Region::Ireland, 0},
-                   Site{Region::Tokyo, 0}};
-      cfg.checkpoint_interval = 8;
-      cfg.request_timeout = 2 * kSecond;
-      cfg.view_change_timeout = 3 * kSecond;
-      BftSystem sys(world, cfg);
-      FaultPlan plan(world);
-      plan.on_crash = [&sys](NodeId n) { sys.crash_node(n); };
-      plan.on_restart = [&sys](NodeId n) { sys.restart_node(n); };
-      plan.on_byzantine = [&sys](NodeId n, const ByzantineFlags& f) { sys.set_byzantine(n, f); };
-
-      std::vector<std::unique_ptr<SpiderClient>> clients;
-      clients.push_back(sys.make_client(Site{Region::Virginia, 1}));
-      clients.push_back(sys.make_client(Site{Region::Tokyo, 1}));
-
-      ScenarioParts parts;
-      parts.byzantine = byzantine;
-      parts.replay_script = replay_script;
-      for (std::size_t i = 0; i < clients.size(); ++i) {
-        parts.handles.push_back(chaos::ClientHandle::wrap(hist, *clients[i], i));
-      }
-      parts.reader = chaos::ClientHandle::wrap(hist, *clients[0], 99);
-      parts.crash_targets = sys.replica_ids();
-      for (NodeId n : sys.replica_ids()) parts.partition_groups.push_back({n});
-      // Baseline replicas both order and execute, so they appear once, as
-      // one consensus group capped at f (they draw corrupt-replies from
-      // the consensus-role action set).
-      parts.byz_consensus_groups = {sys.replica_ids()};
-      parts.max_byz_consensus = cfg.f;
-      parts.ops_per_client = 8;  // WAN consensus: each op takes ~2 RTTs
-      return drive_chaos(world, hist, plan, std::move(parts));
-    }
-
-    case ChaosConfig::Sharded2: {
-      ShardedTopology topo;
-      topo.shards = 2;
-      topo.base.exec_regions = {Region::Virginia};
-      topo.base.ka = 8;
-      topo.base.ke = 8;
-      topo.base.ag_win = 32;
-      topo.base.commit_capacity = 16;
-      topo.base.client_retry = kSecond;
-      topo.base.request_timeout = kSecond;
-      topo.base.view_change_timeout = 2 * kSecond;
-      ShardedSpiderSystem sys(world, topo);
-      FaultPlan plan(world);
-      plan.on_crash = [&sys](NodeId n) { sys.crash_node(n); };
-      plan.on_restart = [&sys](NodeId n) { sys.restart_node(n); };
-      plan.on_byzantine = [&sys](NodeId n, const ByzantineFlags& f) { sys.set_byzantine(n, f); };
-
-      std::vector<std::unique_ptr<ShardedClient>> clients;
-      clients.push_back(sys.make_client(Site{Region::Virginia, 0}));
-      clients.push_back(sys.make_client(Site{Region::Virginia, 1}));
-
-      ScenarioParts parts;
-      parts.byzantine = byzantine;
-      parts.replay_script = replay_script;
-      for (std::size_t i = 0; i < clients.size(); ++i) {
-        parts.handles.push_back(chaos::ClientHandle::wrap(hist, *clients[i], i));
-      }
-      parts.reader = chaos::ClientHandle::wrap(hist, *clients[0], 99);
-      parts.crash_targets = sys.replica_ids();
-      for (std::uint32_t s = 0; s < sys.shard_count(); ++s) {
-        // Each shard's agreement group is its own consensus group (the ≤f
-        // cap applies per group, so both shards may host an adversary).
-        parts.byz_consensus_groups.push_back(sys.core(s).agreement_ids());
-        parts.partition_groups.push_back(sys.core(s).agreement_ids());
-        for (GroupId g : sys.core(s).group_ids()) {
-          std::vector<NodeId> members;
-          for (std::size_t i = 0; i < sys.core(s).group_size(g); ++i) {
-            members.push_back(sys.core(s).exec(g, i).id());
-          }
-          parts.byz_exec_groups.push_back(members);
-          parts.partition_groups.push_back(std::move(members));
-        }
-      }
-      parts.max_byz_consensus = topo.base.fa;
-      parts.max_byz_exec = topo.base.fe;
-      return drive_chaos(world, hist, plan, std::move(parts));
-    }
-  }
-  return {};
-}
 
 constexpr const char* kScriptHeader = "== fault script (replayable) ==";
 constexpr const char* kHistoryHeader = "== history (replayable) ==";

@@ -1,0 +1,448 @@
+// Deterministic-parallelism suite.
+//
+// The contract under test: enabling the parallel runtime — worker threads
+// plus the crypto verification prefetch — must not change a single
+// observable byte of any run. The thread-ladder goldens below re-run the
+// exact pre-optimisation chaos scenarios (the SHA-256 pins from
+// test_chaos.cpp's FastPathMatchesPreOptimizationGoldens, captured from the
+// naive sequential implementation) at 1, 2, 4 and 8 threads: every fault
+// schedule and recorded history must still hash to the same goldens.
+//
+// The unit tests pin the mechanisms that equivalence rests on: the
+// VerifyPool claim protocol (exactly-once execution, work-stealing joins),
+// the provider hooks' bit-equivalence with the inline crypto calls, and the
+// prefetch table's dedup / single-consumer / eviction behaviour — all of
+// which are main-thread-deterministic state, identical at every thread
+// count.
+//
+// This binary is also the ThreadSanitizer target: the CI tsan job rebuilds
+// it with -fsanitize=thread and runs it to prove the claim protocol is
+// data-race-free, not just observed-race-free.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hex.hpp"
+#include "common/serde.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/provider.hpp"
+#include "crypto/sha256.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/verify_pool.hpp"
+#include "sim/component.hpp"
+#include "sim/world.hpp"
+#include "spider/system.hpp"
+#include "tests/support/chaos_runner.hpp"
+#include "tests/support/drive.hpp"
+
+namespace spider {
+namespace {
+
+using runtime::ParallelRuntime;
+using runtime::VerifyPool;
+
+// ---------------------------------------------------------------------------
+// Thread-ladder goldens: the PR 5 pins, byte-identical at every thread count.
+// ---------------------------------------------------------------------------
+
+struct Golden {
+  ChaosConfig config;
+  std::uint64_t seed;
+  bool byzantine;
+  const char* script_sha;
+  const char* history_sha;
+};
+
+// Same pins as ChaosDeterminism.FastPathMatchesPreOptimizationGoldens:
+// captured from the naive-copy single-threaded implementation.
+constexpr Golden kGoldens[] = {
+    {ChaosConfig::SpiderF1, 7, false,
+     "a17347e98364e2e8e56a1ccb559aaaf3519aff5e27c519d9a0be4724cb84d4a2",
+     "81479ff0304795bc452e7fa52b0d246bafaa4856bce77236f6b43ec175a09dbe"},
+    {ChaosConfig::SpiderF2, 3, false,
+     "a86fc42376d861975983dc6f3b77c871ad1b7e707367c4f678bf51e188116c89",
+     "4e2150d0fcdce76bb449ceb4ab9626312645b7b7c2752c823ac7d70da298fe3c"},
+    {ChaosConfig::PbftBaseline, 11, false,
+     "c54a204ddcd512967101bf9171a1dc1c8cc7c83df9a34a868bd020c950c92a83",
+     "696c6044c47e2164220503d5559b943945e3a35afdba35b46946d87a42623ed4"},
+    {ChaosConfig::Sharded2, 5, false,
+     "76c314389a3059f239a69f3117cbb48aa4fa3c0b1d0d6fae862837548c44a2d9",
+     "25b6f0e81bd18c87e2726bcebf11870bef0139ae6cd8beed8e6a915bf2769a4b"},
+    {ChaosConfig::SpiderF1, 103, true,
+     "10a18b944bd6c01b8cf9df18ab86b5ac13b207f637a55f3ab83ec8f4933239b8",
+     "a8dfef510d5b96e2d4afedfa439a7f49ab386347074f0cada46ce08acb4c50bc"},
+    {ChaosConfig::Sharded2, 107, true,
+     "6ff10948605e10c9fef061ad57925c8bf22f30aabce5a53ff676b9b7c5c0b07f",
+     "16433f29f2d246e7978507b1dbebd8094c1b5f884e07c2abf0f5d1671f94b97b"},
+};
+
+class ThreadLadder : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadLadder, GoldensAreByteIdentical) {
+  const unsigned threads = GetParam();
+  for (const Golden& g : kGoldens) {
+    ChaosOutcome out =
+        run_chaos(g.config, g.seed, g.byzantine, /*replay_script=*/nullptr, threads);
+    EXPECT_EQ(to_hex(sha256(to_bytes(out.machine_script))), g.script_sha)
+        << "fault script diverged from the single-threaded goldens at "
+        << config_name(g.config) << " seed " << g.seed << " threads " << threads;
+    EXPECT_EQ(to_hex(sha256(out.history)), g.history_sha)
+        << "recorded history diverged from the single-threaded goldens at "
+        << config_name(g.config) << " seed " << g.seed << " threads " << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallel, ThreadLadder, ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const ::testing::TestParamInfo<unsigned>& i) {
+                           return "threads" + std::to_string(i.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Prefetch counters are themselves deterministic: submission, consumption
+// and eviction all happen on the simulation thread in event order, so the
+// counts are part of the reproducible surface — at every thread count.
+// ---------------------------------------------------------------------------
+
+struct SmallRunStats {
+  std::uint64_t submitted;
+  std::uint64_t hits;
+  std::string history_sha;
+};
+
+SmallRunStats small_spider_run(unsigned threads) {
+  World world(4711);
+  ParallelRuntime& rt = world.enable_parallelism(threads);
+  SpiderTopology topo;
+  topo.exec_regions = {Region::Virginia, Region::Tokyo};
+  topo.ka = 8;
+  topo.ke = 8;
+  topo.ag_win = 32;
+  topo.commit_capacity = 16;
+  topo.client_retry = kSecond;
+  SpiderSystem sys(world, topo);
+  HistoryRecorder hist(world);
+  auto client = sys.make_client(Site{Region::Virginia, 0});
+  for (int i = 0; i < 4; ++i) {
+    recorded_put(hist, *client, 0, "k" + std::to_string(i % 2), "v" + std::to_string(i));
+    drive::run_until(world, [&] { return hist.pending_count() == 0; }, 30 * kSecond);
+  }
+  recorded_strong_get(hist, *client, 0, "k0");
+  drive::run_until(world, [&] { return hist.pending_count() == 0; }, 30 * kSecond);
+  SmallRunStats s;
+  s.submitted = rt.prefetch_submitted();
+  s.hits = rt.prefetch_hits();
+  s.history_sha = to_hex(sha256(hist.serialize()));
+  return s;
+}
+
+TEST(ParallelDeterminism, PrefetchCountersIdenticalAcrossThreadCounts) {
+  SmallRunStats t1 = small_spider_run(1);
+  ASSERT_GT(t1.submitted, 0u) << "prefetch never engaged — wiring broken";
+  ASSERT_GT(t1.hits, 0u);
+  for (unsigned threads : {2u, 4u}) {
+    SmallRunStats tn = small_spider_run(threads);
+    EXPECT_EQ(tn.submitted, t1.submitted) << "threads=" << threads;
+    EXPECT_EQ(tn.hits, t1.hits) << "threads=" << threads;
+    EXPECT_EQ(tn.history_sha, t1.history_sha) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VerifyPool: claim protocol and accounting.
+// ---------------------------------------------------------------------------
+
+TEST(VerifyPoolTest, InlineModeComputesAtSubmit) {
+  VerifyPool pool(0);
+  auto job = pool.submit([](VerifyPool::Job& j) {
+    j.ok = true;
+    j.out = {1, 2, 3};
+  });
+  // Inline mode ran the closure inside submit(); join is a no-op check.
+  pool.join(job);
+  EXPECT_TRUE(job->ok);
+  EXPECT_EQ(job->out, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(pool.submitted(), 1u);
+  EXPECT_EQ(pool.ran_inline(), 1u);
+  EXPECT_EQ(pool.ran_on_worker(), 0u);
+}
+
+TEST(VerifyPoolTest, EveryJobRunsExactlyOnceAcrossWorkersAndSteals) {
+  constexpr int kJobs = 512;
+  VerifyPool pool(2);
+  std::vector<VerifyPool::JobRef> jobs;
+  jobs.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    jobs.push_back(pool.submit(
+        [i](VerifyPool::Job& j) {
+          j.ok = (i % 3 == 0);
+          j.out = {static_cast<std::uint8_t>(i & 0xff), static_cast<std::uint8_t>(i >> 8)};
+        },
+        static_cast<std::uint32_t>(i)));
+  }
+  // Join immediately (the common pattern): some jobs are stolen inline,
+  // some ran on workers — the results must be identical either way.
+  for (int i = 0; i < kJobs; ++i) {
+    pool.join(jobs[i]);
+    EXPECT_EQ(jobs[i]->ok, i % 3 == 0) << i;
+    ASSERT_EQ(jobs[i]->out.size(), 2u) << i;
+    EXPECT_EQ(jobs[i]->out[0], static_cast<std::uint8_t>(i & 0xff)) << i;
+    EXPECT_EQ(jobs[i]->out[1], static_cast<std::uint8_t>(i >> 8)) << i;
+  }
+  // Exactly-once: the two run paths partition the submitted set.
+  EXPECT_EQ(pool.submitted(), static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(pool.ran_on_worker() + pool.ran_inline(), static_cast<std::uint64_t>(kJobs));
+}
+
+TEST(VerifyPoolTest, DoubleJoinIsIdempotent) {
+  VerifyPool pool(1);
+  auto job = pool.submit([](VerifyPool::Job& j) { j.ok = true; });
+  pool.join(job);
+  pool.join(job);  // second join: single acquire load, no re-run
+  EXPECT_TRUE(job->ok);
+  EXPECT_EQ(pool.ran_on_worker() + pool.ran_inline(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Provider hooks: bit-equivalence with the inline calls, both providers.
+// ---------------------------------------------------------------------------
+
+template <class Provider>
+void check_sig_verifier_equivalence() {
+  Provider cp(99);
+  const Bytes msg = to_bytes("the quick brown fox");
+  Bytes sig = cp.sign(7, msg);
+
+  auto good = cp.make_sig_verifier(7, msg, sig);
+  ASSERT_TRUE(static_cast<bool>(good));
+  EXPECT_TRUE(good());
+  EXPECT_EQ(good(), cp.verify(7, msg, sig));
+
+  Bytes bad_sig = sig;
+  bad_sig[bad_sig.size() / 2] ^= 0x40;
+  auto bad = cp.make_sig_verifier(7, msg, bad_sig);
+  ASSERT_TRUE(static_cast<bool>(bad));
+  EXPECT_FALSE(bad());
+  EXPECT_EQ(bad(), cp.verify(7, msg, bad_sig));
+
+  // Wrong signer: closure captures the claimed signer's key, like verify().
+  auto wrong = cp.make_sig_verifier(8, msg, sig);
+  ASSERT_TRUE(static_cast<bool>(wrong));
+  EXPECT_EQ(wrong(), cp.verify(8, msg, sig));
+  EXPECT_FALSE(wrong());
+}
+
+TEST(ProviderHooks, FastCryptoSigVerifierMatchesVerify) {
+  check_sig_verifier_equivalence<FastCrypto>();
+}
+
+TEST(ProviderHooks, RealCryptoSigVerifierMatchesVerify) {
+  check_sig_verifier_equivalence<RealCrypto>();
+}
+
+template <class Provider>
+void check_mac_schedule_equivalence() {
+  Provider cp(123);
+  const Bytes msg = to_bytes("macs must match bit for bit");
+  const HmacKey* ks = cp.mac_schedule(3, 9);
+  ASSERT_NE(ks, nullptr);
+  EXPECT_EQ(hmac_tag(*ks, msg), cp.mac(3, 9, msg));
+  EXPECT_TRUE(cp.verify_mac(3, 9, msg, hmac_tag(*ks, msg)));
+}
+
+TEST(ProviderHooks, FastCryptoMacScheduleMatchesMac) {
+  check_mac_schedule_equivalence<FastCrypto>();
+}
+
+TEST(ProviderHooks, RealCryptoMacScheduleMatchesMac) {
+  check_mac_schedule_equivalence<RealCrypto>();
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch table mechanics, driven directly through the runtime hooks.
+// ---------------------------------------------------------------------------
+
+/// Builds a client-namespace frame [u32 kClient][body][16B MAC from->to].
+Payload client_mac_frame(World& world, NodeId from, NodeId to, const std::string& body) {
+  Writer w;
+  w.u32(tags::kClient);
+  w.raw(to_bytes(body));
+  Bytes prefix = std::move(w).take();
+  Bytes mac = world.crypto().mac(from, to, prefix);
+  Writer f(prefix.size() + mac.size());
+  f.raw(prefix);
+  f.raw(mac);
+  return Payload(std::move(f).take());
+}
+
+/// Builds an IRMC-namespace signed frame [u32 tag][type=Send][body][sig].
+Payload irmc_signed_frame(World& world, NodeId from, const std::string& body) {
+  Writer w;
+  w.u32(tags::kIrmc | 5u);
+  w.u8(1);  // irmc::MsgType::Send — signature-verified per the trailer rule
+  w.raw(to_bytes(body));
+  Bytes prefix = std::move(w).take();
+  Bytes sig = world.crypto().sign(from, prefix);
+  Writer f(prefix.size() + sig.size());
+  f.raw(prefix);
+  f.raw(sig);
+  return Payload(std::move(f).take());
+}
+
+TEST(PrefetchTable, MulticastSignatureSubmittedOnceConsumedPerRecipient) {
+  World world(11);
+  ParallelRuntime& rt = world.enable_parallelism(1);
+  Payload frame = irmc_signed_frame(world, 42, "payload shared by the fan-out");
+  const std::size_t msg_len = frame.size() - world.crypto().signature_size();
+
+  rt.note_send(42, 1, frame);
+  rt.note_send(42, 2, frame);
+  rt.note_send(42, 3, frame);
+  // One shared buffer, one signature, ONE job — the algorithmic win that
+  // holds even at threads=1.
+  EXPECT_EQ(rt.prefetch_submitted(), 1u);
+  EXPECT_EQ(rt.table_size(), 1u);
+
+  for (NodeId to : {1u, 2u, 3u}) {
+    auto verdict = rt.take_verdict(frame.data(), msg_len, 42, to, /*is_sig=*/true);
+    ASSERT_TRUE(verdict.has_value()) << "recipient " << to;
+    EXPECT_TRUE(*verdict);
+  }
+  EXPECT_EQ(rt.prefetch_hits(), 3u);
+  // Signature entries persist for late recipients; only the FIFO cap
+  // retires them.
+  EXPECT_EQ(rt.table_size(), 1u);
+}
+
+TEST(PrefetchTable, BadSignatureYieldsFalseVerdict) {
+  World world(12);
+  ParallelRuntime& rt = world.enable_parallelism(1);
+  // Hand-build the frame with one corrupted signature byte.
+  Writer w;
+  w.u32(tags::kIrmc | 5u);
+  w.u8(1);  // irmc::MsgType::Send
+  w.raw(to_bytes("to be corrupted"));
+  Bytes prefix = std::move(w).take();
+  Bytes sig = world.crypto().sign(42, prefix);
+  sig.back() ^= 0x01;
+  Writer f(prefix.size() + sig.size());
+  f.raw(prefix);
+  f.raw(sig);
+  Payload frame(std::move(f).take());
+  const std::size_t msg_len = frame.size() - world.crypto().signature_size();
+
+  rt.note_send(42, 1, frame);
+  auto verdict = rt.take_verdict(frame.data(), msg_len, 42, 1, /*is_sig=*/true);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+}
+
+TEST(PrefetchTable, MacEntriesArePerRecipientAndSingleConsumer) {
+  World world(13);
+  ParallelRuntime& rt = world.enable_parallelism(1);
+  Payload frame = client_mac_frame(world, 7, 8, "request body");
+  const std::size_t msg_len = frame.size() - world.crypto().mac_size();
+
+  rt.note_send(7, 8, frame);
+  rt.note_send(7, 9, frame);  // distinct pair key → its own (failing) job
+  EXPECT_EQ(rt.prefetch_submitted(), 2u);
+
+  auto v8 = rt.take_verdict(frame.data(), msg_len, 7, 8, /*is_sig=*/false);
+  ASSERT_TRUE(v8.has_value());
+  EXPECT_TRUE(*v8);
+  // Single-consumer: the entry was erased on take.
+  EXPECT_FALSE(rt.take_verdict(frame.data(), msg_len, 7, 8, false).has_value());
+
+  // The (7,9) MAC was computed for pair (7,8): genuinely invalid, and the
+  // prefetched verdict says so — same answer verify_mac would give.
+  auto v9 = rt.take_verdict(frame.data(), msg_len, 7, 9, /*is_sig=*/false);
+  ASSERT_TRUE(v9.has_value());
+  EXPECT_FALSE(*v9);
+  EXPECT_EQ(rt.table_size(), 0u);
+}
+
+TEST(PrefetchTable, RetransmitOfLiveEntryIsDeduplicated) {
+  World world(14);
+  ParallelRuntime& rt = world.enable_parallelism(1);
+  Payload frame = client_mac_frame(world, 7, 8, "retransmitted");
+  rt.note_send(7, 8, frame);
+  rt.note_send(7, 8, frame);  // same buffer, same pair: no second job
+  EXPECT_EQ(rt.prefetch_submitted(), 1u);
+}
+
+TEST(PrefetchTable, FifoCapBoundsTableAndPayloadPins) {
+  World world(15);
+  ParallelRuntime& rt = world.enable_parallelism(1);
+  // More distinct never-consumed frames than the cap (dropped messages in a
+  // long partition, say). The table must not grow without bound.
+  constexpr std::size_t kOver = (1u << 14) + 64;
+  for (std::size_t i = 0; i < kOver; ++i) {
+    Payload frame = client_mac_frame(world, 1, 2, "drop " + std::to_string(i));
+    rt.note_send(1, 2, frame);
+  }
+  EXPECT_EQ(rt.prefetch_submitted(), static_cast<std::uint64_t>(kOver));
+  EXPECT_LE(rt.table_size(), std::size_t{1} << 14);
+}
+
+// ---------------------------------------------------------------------------
+// Batch helpers: scatter-join equals the inline loop.
+// ---------------------------------------------------------------------------
+
+TEST(BatchHelpers, VerifySigsMatchesInlineLoopWithAndWithoutRuntime) {
+  const Bytes msg = to_bytes("batch of shares");
+  for (unsigned threads : {0u, 1u, 4u}) {
+    World world(21);
+    if (threads > 0) world.enable_parallelism(threads);
+    Bytes good = world.crypto().sign(5, msg);
+    Bytes bad = good;
+    bad[3] ^= 0xff;
+    std::vector<runtime::SigCheck> checks = {
+        {5, msg, good}, {5, msg, bad}, {6, msg, good}, {5, msg, good}};
+    std::vector<char> verdicts = runtime::verify_sigs(world, checks);
+    ASSERT_EQ(verdicts.size(), 4u);
+    EXPECT_EQ(verdicts[0], 1) << "threads=" << threads;
+    EXPECT_EQ(verdicts[1], 0) << "threads=" << threads;
+    EXPECT_EQ(verdicts[2], 0) << "threads=" << threads;  // wrong signer
+    EXPECT_EQ(verdicts[3], 1) << "threads=" << threads;
+  }
+}
+
+TEST(BatchHelpers, ComputeMacsMatchesInlineLoopWithAndWithoutRuntime) {
+  const Bytes msg = to_bytes("multicast body");
+  const std::vector<NodeId> recipients = {2, 3, 4, 5};
+  World ref(31);
+  std::vector<Bytes> expect;
+  for (NodeId to : recipients) expect.push_back(ref.crypto().mac(1, to, msg));
+
+  for (unsigned threads : {0u, 1u, 4u}) {
+    World world(31);  // same seed → same key material as the reference
+    if (threads > 0) world.enable_parallelism(threads);
+    std::vector<Bytes> macs = runtime::compute_macs(world, 1, msg, recipients);
+    ASSERT_EQ(macs.size(), recipients.size());
+    for (std::size_t i = 0; i < recipients.size(); ++i) {
+      EXPECT_EQ(macs[i], expect[i]) << "threads=" << threads << " recipient " << recipients[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch driver: bounded virtual-time steps, still exact event order.
+// ---------------------------------------------------------------------------
+
+TEST(EpochDriver, BarriersAdvanceWithoutReorderingEvents) {
+  World world(41);
+  ParallelRuntime& rt = world.enable_parallelism(2, /*epoch_len=*/100);
+  std::vector<int> order;
+  world.queue().schedule_at(50, [&] { order.push_back(1); });
+  world.queue().schedule_at(250, [&] { order.push_back(2); });
+  world.queue().schedule_at(250, [&] { order.push_back(3); });  // FIFO at equal t
+  world.queue().schedule_at(990, [&] { order.push_back(4); });
+  world.run_until(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(world.now(), 1000u);
+  // 1000us of virtual time at epoch_len=100 → ten barriers.
+  EXPECT_EQ(rt.epochs(), 10u);
+}
+
+}  // namespace
+}  // namespace spider
